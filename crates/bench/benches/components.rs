@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks for the simulator's building blocks: the
+//! set-associative array, the directory structures, the LLC bank with
+//! ZeroDEV line states, the DRAM timing model, the mesh, and the workload
+//! generators.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zerodev_cache::{Replacement, SetAssoc};
+use zerodev_common::config::{DirectoryKind, LlcReplacement, Ratio, SystemConfig};
+use zerodev_common::{BlockAddr, CoreId, Cycle, Prng};
+use zerodev_core::directory::DirStore;
+use zerodev_core::{DirEntry, LlcBank};
+use zerodev_dram::DramModel;
+use zerodev_noc::SocketTopology;
+use zerodev_workloads::{multithreaded, rate};
+
+fn bench_setassoc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("setassoc");
+    g.bench_function("touch_hit", |b| {
+        let mut cache: SetAssoc<u64> = SetAssoc::new(1024, 16, Replacement::Lru);
+        for i in 0..4096u64 {
+            cache.insert(i, i, |_| false);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 17) % 4096;
+            black_box(cache.touch(i, |_| true).is_some())
+        });
+    });
+    g.bench_function("insert_evict", |b| {
+        let mut cache: SetAssoc<u64> = SetAssoc::new(64, 8, Replacement::Lru);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(cache.insert(i, i, |_| false))
+        });
+    });
+    g.finish();
+}
+
+fn bench_directories(c: &mut Criterion) {
+    let mut g = c.benchmark_group("directory");
+    let cfg = SystemConfig::baseline_8core();
+    for (name, kind) in [
+        (
+            "sparse_1x",
+            DirectoryKind::Sparse {
+                ratio: Ratio::ONE,
+                ways: 8,
+                replacement_disabled: false,
+            },
+        ),
+        ("unbounded", DirectoryKind::Unbounded),
+        (
+            "mgd",
+            DirectoryKind::MultiGrain {
+                ratio: Ratio::new(1, 8),
+                ways: 8,
+            },
+        ),
+        (
+            "secdir",
+            DirectoryKind::SecDir(DirStore::secdir_geometry(8, false)),
+        ),
+    ] {
+        g.bench_function(format!("alloc_remove/{name}"), |b| {
+            let mut c2 = cfg.clone();
+            c2.directory = kind.clone();
+            if matches!(kind, DirectoryKind::None) {
+                c2.zerodev = Some(Default::default());
+            }
+            let mut dir = DirStore::build(&c2);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let blk = BlockAddr(i % 100_000);
+                if dir.peek(blk).is_none() {
+                    let _ = dir.allocate(blk, DirEntry::owned(CoreId((i % 8) as u16)));
+                } else {
+                    let _ = dir.remove(blk);
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_llc_bank(c: &mut Criterion) {
+    let mut g = c.benchmark_group("llc_bank");
+    g.bench_function("fill_spill_cycle", |b| {
+        let mut bank = LlcBank::new(1024, 16, 8, 0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let blk = BlockAddr((i % 40_000) * 8);
+            let _ = bank.fill_data(blk, i.is_multiple_of(3), LlcReplacement::DataLru);
+            if i.is_multiple_of(4) {
+                let _ = bank.spill_entry(
+                    blk,
+                    DirEntry::shared(CoreId((i % 8) as u16)),
+                    LlcReplacement::DataLru,
+                );
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/read", |b| {
+        let mut dram = DramModel::new(SystemConfig::baseline_8core().dram);
+        let mut i = 0u64;
+        let mut t = Cycle(0);
+        b.iter(|| {
+            i += 1;
+            t = dram.read(t, BlockAddr(i * 7));
+            black_box(t)
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/latency_128core", |b| {
+        let topo = SocketTopology::new(128, 32, 8, Default::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            black_box(topo.core_bank_latency(i % 128, i % 32, 72))
+        });
+    });
+}
+
+fn bench_workloads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.bench_function("multithreaded_next_ref", |b| {
+        let mut wl = multithreaded("ocean_cp", 8, 1).unwrap();
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 1) % 8;
+            black_box(wl.threads[t].next_ref())
+        });
+    });
+    g.bench_function("rate_next_ref", |b| {
+        let mut wl = rate("xalancbmk", 8, 1).unwrap();
+        let mut t = 0usize;
+        b.iter(|| {
+            t = (t + 1) % 8;
+            black_box(wl.threads[t].next_ref())
+        });
+    });
+    g.finish();
+}
+
+fn bench_prng(c: &mut Criterion) {
+    c.bench_function("prng/next_u64", |b| {
+        let mut rng = Prng::seeded(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_setassoc, bench_directories, bench_llc_bank, bench_dram, bench_noc, bench_workloads, bench_prng
+}
+criterion_main!(benches);

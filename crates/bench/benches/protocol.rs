@@ -1,0 +1,124 @@
+//! Criterion benchmarks for the protocol engine: sustained access/evict
+//! throughput under each coherence configuration. These bound how fast the
+//! figure harnesses can run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zerodev_common::config::{DirectoryKind, LlcReplacement, SpillPolicy, ZeroDevConfig};
+use zerodev_common::{BlockAddr, CoreId, Cycle, Prng, SocketId, SystemConfig};
+use zerodev_core::{EvictKind, Op, System};
+
+/// Drives a random-but-legal single-socket request/evict mix.
+fn drive(sys: &mut System, rng: &mut Prng, present: &mut [Option<bool>], blocks: u64) {
+    let c = CoreId(rng.below(8) as u16);
+    let b = rng.below(blocks);
+    let idx = (b * 8 + u64::from(c.0)) as usize;
+    let block = BlockAddr(0x10_000 + b);
+    match present[idx] {
+        None => {
+            let write = rng.chance(0.3);
+            let op = if write { Op::ReadExclusive } else { Op::Read };
+            let r = sys.access(Cycle(0), SocketId(0), c, block, op);
+            // Apply invalidations to the tracking array.
+            for inv in &r.invalidations {
+                let i = (inv.block.0 - 0x10_000) * 8 + u64::from(inv.core.0);
+                if let Some(slot) = present.get_mut(i as usize) {
+                    *slot = None;
+                }
+            }
+            for d in &r.downgrades {
+                let i = (d.block.0 - 0x10_000) * 8 + u64::from(d.core.0);
+                if let Some(slot) = present.get_mut(i as usize) {
+                    *slot = Some(false);
+                }
+            }
+            present[idx] = Some(write);
+            black_box(r.latency);
+        }
+        Some(dirty) => {
+            let kind = if dirty {
+                EvictKind::Dirty
+            } else {
+                EvictKind::CleanShared
+            };
+            let invals = sys.evict(Cycle(0), SocketId(0), c, block, kind);
+            for inv in invals {
+                let i = (inv.block.0 - 0x10_000) * 8 + u64::from(inv.core.0);
+                if let Some(slot) = present.get_mut(i as usize) {
+                    *slot = None;
+                }
+            }
+            present[idx] = None;
+        }
+    }
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol_access");
+    let blocks = 4096u64;
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        ("baseline_1x", SystemConfig::baseline_8core()),
+        (
+            "zerodev_fpss_nodir",
+            SystemConfig::baseline_8core()
+                .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None),
+        ),
+        (
+            "zerodev_spillall",
+            SystemConfig::baseline_8core().with_zerodev(
+                ZeroDevConfig {
+                    policy: SpillPolicy::SpillAll,
+                    llc_replacement: LlcReplacement::DataLru,
+                    ..Default::default()
+                },
+                DirectoryKind::None,
+            ),
+        ),
+        (
+            "zerodev_fuseall",
+            SystemConfig::baseline_8core().with_zerodev(
+                ZeroDevConfig {
+                    policy: SpillPolicy::FuseAll,
+                    llc_replacement: LlcReplacement::DataLru,
+                    ..Default::default()
+                },
+                DirectoryKind::None,
+            ),
+        ),
+    ];
+    for (name, cfg) in configs {
+        g.bench_function(name, |b| {
+            let mut sys = System::new(cfg.clone()).unwrap();
+            let mut rng = Prng::seeded(7);
+            let mut present = vec![None; (blocks * 8) as usize];
+            b.iter(|| drive(&mut sys, &mut rng, &mut present, blocks));
+        });
+    }
+    g.finish();
+}
+
+fn bench_multisocket(c: &mut Criterion) {
+    c.bench_function("protocol_access/four_socket_zerodev", |b| {
+        let cfg = SystemConfig::four_socket()
+            .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        let mut sys = System::new(cfg).unwrap();
+        let mut rng = Prng::seeded(11);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let s = SocketId(rng.below(4) as u8);
+            let c2 = CoreId(rng.below(8) as u16);
+            let block = BlockAddr(0x20_000 + (i % 2048));
+            let r = sys.access(Cycle(0), s, c2, block, Op::Read);
+            // Evict immediately to keep the model legal and steady-state.
+            let _ = sys.evict(Cycle(0), s, c2, block, EvictKind::CleanShared);
+            black_box(r.latency)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_protocol, bench_multisocket
+}
+criterion_main!(benches);

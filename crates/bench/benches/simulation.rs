@@ -1,0 +1,56 @@
+//! Criterion benchmarks for full end-to-end simulations: one short run per
+//! machine configuration, measuring whole-stack throughput (workload
+//! generation + private caches + protocol + DRAM + statistics).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zerodev_common::config::{DirectoryKind, LlcDesign, ZeroDevConfig};
+use zerodev_common::SystemConfig;
+use zerodev_sim::runner::{run, RunParams};
+use zerodev_workloads::{multithreaded, rate};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    let params = RunParams {
+        refs_per_core: 3_000,
+        warmup_refs: 500,
+    };
+    let mut epd = SystemConfig::baseline_8core();
+    epd.llc_design = LlcDesign::Epd;
+    let mut incl = SystemConfig::baseline_8core()
+        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    incl.llc_design = LlcDesign::Inclusive;
+    let configs: Vec<(&str, SystemConfig)> = vec![
+        ("baseline", SystemConfig::baseline_8core()),
+        (
+            "zerodev_nodir",
+            SystemConfig::baseline_8core()
+                .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None),
+        ),
+        ("baseline_epd", epd),
+        ("zerodev_inclusive", incl),
+    ];
+    for (name, cfg) in configs {
+        g.bench_function(format!("mt_ocean_cp/{name}"), |b| {
+            b.iter(|| {
+                let wl = multithreaded("ocean_cp", 8, 1).unwrap();
+                black_box(run(&cfg, wl, &params).completion_cycles)
+            });
+        });
+    }
+    g.bench_function("rate_xalancbmk/baseline", |b| {
+        let cfg = SystemConfig::baseline_8core();
+        b.iter(|| {
+            let wl = rate("xalancbmk", 8, 1).unwrap();
+            black_box(run(&cfg, wl, &params).completion_cycles)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulation
+}
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! Shared harness code for the figure-reproduction binaries.
+//!
+//! Every `figNN` binary in `src/bin/` reproduces one table or figure of the
+//! paper: it sweeps the relevant configurations over the relevant workloads
+//! and prints the same rows/series the paper reports. Absolute numbers
+//! differ from the paper (different substrate, synthetic workloads); the
+//! *shape* — who wins, by roughly what factor, where crossovers fall — is
+//! the reproduction target. See EXPERIMENTS.md for the index.
+//!
+//! Set `ZERODEV_QUICK=1` to run every figure with a shortened measurement
+//! window (used by the integration tests).
+
+use zerodev_common::config::{
+    DirectoryKind, LlcReplacement, Ratio, SpillPolicy, ZeroDevConfig,
+};
+use zerodev_common::table::{geomean, Table};
+use zerodev_common::SystemConfig;
+use zerodev_sim::runner::{run, RunParams, RunWithEnergy};
+use zerodev_workloads::{multithreaded, rate, suites, Workload};
+
+/// Seed used by every figure harness (results are fully deterministic).
+pub const SEED: u64 = 0x5eed_2021;
+
+/// The multi-threaded suites of Table II, with their figure labels.
+pub fn mt_suites() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("PARSEC", suites::PARSEC.to_vec()),
+        ("SPLASH2X", suites::SPLASH2X.to_vec()),
+        ("SPECOMP", suites::SPECOMP.to_vec()),
+        ("FFTW", suites::FFTW.to_vec()),
+    ]
+}
+
+/// Builds the multi-threaded workload for `name` on an `cores`-core machine.
+pub fn mt(name: &str, cores: usize) -> Workload {
+    multithreaded(name, cores, SEED).unwrap_or_else(|| panic!("unknown app {name}"))
+}
+
+/// Builds the 8-copy rate workload for `app`.
+pub fn rate8(app: &str) -> Workload {
+    rate(app, 8, SEED).unwrap_or_else(|| panic!("unknown app {app}"))
+}
+
+/// The Table I baseline machine.
+pub fn baseline() -> SystemConfig {
+    SystemConfig::baseline_8core()
+}
+
+/// Baseline machine with an unbounded directory.
+pub fn unbounded() -> SystemConfig {
+    let mut cfg = baseline();
+    cfg.directory = DirectoryKind::Unbounded;
+    cfg
+}
+
+/// Baseline machine with an `R×` sparse directory.
+pub fn sparse(num: u32, den: u32) -> SystemConfig {
+    baseline().with_sparse_dir(Ratio::new(num, den))
+}
+
+/// ZeroDEV machine with no dedicated directory.
+pub fn zerodev_nodir(policy: SpillPolicy, repl: LlcReplacement) -> SystemConfig {
+    baseline().with_zerodev(
+        ZeroDevConfig {
+            policy,
+            llc_replacement: repl,
+            ..Default::default()
+        },
+        DirectoryKind::None,
+    )
+}
+
+/// ZeroDEV machine (FPSS + dataLRU — the paper's selected configuration)
+/// with a replacement-disabled `R×` sparse directory.
+pub fn zerodev_sparse(num: u32, den: u32) -> SystemConfig {
+    baseline().with_zerodev(
+        ZeroDevConfig::default(),
+        DirectoryKind::Sparse {
+            ratio: Ratio::new(num, den),
+            ways: 8,
+            replacement_disabled: true,
+        },
+    )
+}
+
+/// ZeroDEV machine (FPSS + dataLRU) with no dedicated directory.
+pub fn zerodev_default_nodir() -> SystemConfig {
+    zerodev_nodir(SpillPolicy::FusePrivateSpillShared, LlcReplacement::DataLru)
+}
+
+/// Runs `workload` on `cfg` with the environment-selected run length.
+pub fn execute(cfg: &SystemConfig, workload: Workload) -> RunWithEnergy {
+    run(cfg, workload, &RunParams::from_env())
+}
+
+/// Runs `workload` on `cfg` with an explicit run length (the 128-core
+/// server experiments use a shorter window per core).
+pub fn execute_with(cfg: &SystemConfig, workload: Workload, params: &RunParams) -> RunWithEnergy {
+    run(cfg, workload, params)
+}
+
+/// Run length for the 128-core server experiments.
+pub fn server_params() -> RunParams {
+    let p = RunParams::from_env();
+    RunParams {
+        refs_per_core: p.refs_per_core / 4,
+        warmup_refs: p.warmup_refs / 4,
+    }
+}
+
+/// A boxed workload constructor (workloads are consumed per run, so sweeps
+/// take factories).
+pub type Maker = Box<dyn Fn() -> Workload>;
+
+/// One normalised row of a figure: speedups of each configuration against
+/// the per-workload baseline.
+#[derive(Clone, Debug)]
+pub struct NormRow {
+    /// Workload name.
+    pub name: String,
+    /// One normalised value per swept configuration.
+    pub values: Vec<f64>,
+}
+
+/// Sweeps `configs` over `workloads`, normalising the chosen metric against
+/// the first config (the baseline). Returns one row per workload.
+pub fn sweep<F>(
+    configs: &[(&str, SystemConfig)],
+    workloads: &[(&str, Maker)],
+    metric: F,
+) -> Vec<NormRow>
+where
+    F: Fn(&RunWithEnergy, &RunWithEnergy) -> f64,
+{
+    let mut rows = Vec::new();
+    for (wname, make) in workloads {
+        let base = execute(&configs[0].1, make());
+        let mut values = Vec::new();
+        for (_, cfg) in &configs[1..] {
+            let r = execute(cfg, make());
+            values.push(metric(&r, &base));
+        }
+        rows.push(NormRow {
+            name: (*wname).to_string(),
+            values,
+        });
+    }
+    rows
+}
+
+/// Boxes a workload constructor (helper for [`sweep`]).
+pub fn wl<F: Fn() -> Workload + 'static>(f: F) -> Maker {
+    Box::new(f)
+}
+
+/// Speedup metric for [`sweep`].
+pub fn speedup_metric(r: &RunWithEnergy, base: &RunWithEnergy) -> f64 {
+    r.result.speedup_vs(&base.result)
+}
+
+/// Prints a table of rows (one column per non-baseline config) followed by
+/// a GEOMEAN row.
+pub fn print_norm_table(title: &str, col_names: &[&str], rows: &[NormRow]) {
+    println!("\n== {title} ==");
+    let mut header = vec!["workload"];
+    header.extend(col_names);
+    let mut t = Table::new(&header);
+    for row in rows {
+        let mut cells = vec![row.name.clone()];
+        cells.extend(row.values.iter().map(|v| format!("{v:.3}")));
+        t.row(&cells);
+    }
+    if !rows.is_empty() {
+        let mut cells = vec!["GEOMEAN".to_string()];
+        for c in 0..rows[0].values.len() {
+            let vals: Vec<f64> = rows.iter().map(|r| r.values[c]).collect();
+            cells.push(format!("{:.3}", geomean(&vals)));
+        }
+        t.row(&cells);
+    }
+    print!("{}", t.render());
+}
+
+/// Geomean of one column of a row set.
+pub fn column_geomean(rows: &[NormRow], col: usize) -> f64 {
+    geomean(&rows.iter().map(|r| r.values[col]).collect::<Vec<_>>())
+}
+
+/// Minimum of one column (the paper annotates min speedups above bars).
+pub fn column_min(rows: &[NormRow], col: usize) -> f64 {
+    rows.iter()
+        .map(|r| r.values[col])
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The three ZeroDEV directory configurations of Figures 19–24: a 1×
+/// replacement-disabled sparse directory, a 1/8× one, and none at all.
+pub fn zerodev_trio() -> Vec<(&'static str, SystemConfig)> {
+    vec![
+        ("ZD+1x", zerodev_sparse(1, 1)),
+        ("ZD+1/8x", zerodev_sparse(1, 8)),
+        ("ZD+NoDir", zerodev_default_nodir()),
+    ]
+}
+
+/// Runs the per-application speedup table used by Figures 19–21 and 23:
+/// each workload under every config, normalised to the baseline machine.
+pub fn per_app_speedups(
+    apps: &[(&str, Maker)],
+    configs: &[(&str, SystemConfig)],
+) -> Vec<NormRow> {
+    let base_cfg = baseline();
+    let mut rows = Vec::new();
+    for (name, make) in apps {
+        let b = execute(&base_cfg, make());
+        let values = configs
+            .iter()
+            .map(|(_, cfg)| execute(cfg, make()).result.speedup_vs(&b.result))
+            .collect();
+        rows.push(NormRow {
+            name: (*name).to_string(),
+            values,
+        });
+    }
+    rows
+}
+
+/// Convenience: (name, constructor) pairs for a multi-threaded app list.
+pub fn mt_makers(apps: &[&'static str], cores: usize) -> Vec<(&'static str, Maker)> {
+    apps.iter()
+        .map(|&a| (a, Box::new(move || mt(a, cores)) as Maker))
+        .collect()
+}
+
+/// Convenience: (name, constructor) pairs for 8-copy rate workloads.
+pub fn rate_makers(apps: &[&'static str]) -> Vec<(&'static str, Maker)> {
+    apps.iter()
+        .map(|&a| (a, Box::new(move || rate8(a)) as Maker))
+        .collect()
+}

@@ -1,0 +1,115 @@
+//! The per-LLC-bank eviction buffer.
+//!
+//! The FuseAll policy (§III-C3 of the paper) requires a sharer core to
+//! preserve an evicted block in an eviction buffer until the home LLC bank
+//! acknowledges the eviction, so the home can retrieve the low bits needed
+//! to reconstruct a fused line. The multi-socket protocol (§III-D3) likewise
+//! keeps a block in the LLC eviction buffer of a socket while the home
+//! socket decides whether this was the last system-wide copy.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of `(key, payload)` entries awaiting acknowledgement.
+#[derive(Clone, Debug)]
+pub struct EvictionBuffer<T> {
+    capacity: usize,
+    entries: VecDeque<(u64, T)>,
+}
+
+impl<T> EvictionBuffer<T> {
+    /// Creates a buffer holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "eviction buffer needs capacity");
+        EvictionBuffer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Number of buffered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when a further push would displace the oldest entry.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Buffers an entry. When full, the oldest entry is retired (its ack is
+    /// assumed delivered — the simulator treats buffer overflow as forced
+    /// in-order retirement) and returned.
+    pub fn push(&mut self, key: u64, payload: T) -> Option<(u64, T)> {
+        let displaced = if self.is_full() {
+            self.entries.pop_front()
+        } else {
+            None
+        };
+        self.entries.push_back((key, payload));
+        displaced
+    }
+
+    /// Looks up a buffered entry by key.
+    pub fn get(&self, key: u64) -> Option<&T> {
+        self.entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Removes and returns the entry for `key` (the ack arrived).
+    pub fn take(&mut self, key: u64) -> Option<T> {
+        let pos = self.entries.iter().position(|(k, _)| *k == key)?;
+        self.entries.remove(pos).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_take() {
+        let mut b: EvictionBuffer<u32> = EvictionBuffer::new(4);
+        assert!(b.is_empty());
+        assert!(b.push(1, 10).is_none());
+        assert!(b.push(2, 20).is_none());
+        assert_eq!(b.get(1), Some(&10));
+        assert_eq!(b.take(1), Some(10));
+        assert_eq!(b.get(1), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn overflow_retires_oldest() {
+        let mut b: EvictionBuffer<u32> = EvictionBuffer::new(2);
+        b.push(1, 10);
+        b.push(2, 20);
+        assert!(b.is_full());
+        let displaced = b.push(3, 30);
+        assert_eq!(displaced, Some((1, 10)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.get(2), Some(&20));
+        assert_eq!(b.get(3), Some(&30));
+    }
+
+    #[test]
+    fn take_missing_is_none() {
+        let mut b: EvictionBuffer<u32> = EvictionBuffer::new(2);
+        assert_eq!(b.take(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: EvictionBuffer<u32> = EvictionBuffer::new(0);
+    }
+}

@@ -1,0 +1,839 @@
+//! Simulated-machine description.
+//!
+//! [`SystemConfig`] captures Table I of the paper plus every design knob the
+//! evaluation sweeps: sparse-directory kind and size, ZeroDEV policy, LLC
+//! design (non-inclusive / EPD / inclusive), LLC capacity/associativity, core
+//! count and socket count.
+
+use crate::ids::{BankId, BlockAddr, SocketId, BLOCK_BYTES};
+use std::fmt;
+
+/// Error returned by [`SystemConfig::validate`] for inconsistent machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid system configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// An exact rational directory-size ratio `R` (entries per aggregate private
+/// last-level-cache block), e.g. `1×`, `1/8×`, `1/32×`.
+///
+/// ```
+/// use zerodev_common::config::Ratio;
+/// assert_eq!(Ratio::ONE.apply(32768), 32768);
+/// assert_eq!(Ratio::new(1, 8).apply(32768), 4096);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Ratio {
+    num: u32,
+    den: u32,
+}
+
+impl Ratio {
+    /// The well-provisioned `1×` baseline ratio.
+    pub const ONE: Ratio = Ratio { num: 1, den: 1 };
+
+    /// Creates a ratio `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or `num == 0`.
+    pub fn new(num: u32, den: u32) -> Self {
+        assert!(num > 0 && den > 0, "ratio must be positive");
+        Ratio { num, den }
+    }
+
+    /// Applies the ratio to a count, rounding down but never below 1.
+    pub fn apply(self, count: usize) -> usize {
+        (count * self.num as usize / self.den as usize).max(1)
+    }
+
+    /// Ratio value as a float (for printing).
+    pub fn as_f64(self) -> f64 {
+        f64::from(self.num) / f64::from(self.den)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}x", self.num)
+        } else {
+            write!(f, "{}/{}x", self.num, self.den)
+        }
+    }
+}
+
+/// Geometry of one set-associative cache structure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        CacheGeometry {
+            size_bytes,
+            ways,
+            block_bytes: BLOCK_BYTES,
+        }
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / self.block_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.lines() / self.ways
+    }
+}
+
+/// The sparse-directory design plugged into the uncore.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DirectoryKind {
+    /// A traditional set-associative sparse directory sized `ratio ×` the
+    /// aggregate private-L2 block count, with 1-bit NRU replacement (the
+    /// paper's baseline). With `replacement_disabled`, a conflict overflows
+    /// to the LLC instead of evicting (ZeroDEV §III-C4) — only meaningful
+    /// when ZeroDEV is enabled.
+    Sparse {
+        /// Entries relative to aggregate private-L2 blocks.
+        ratio: Ratio,
+        /// Set associativity (8 in all paper configurations).
+        ways: usize,
+        /// ZeroDEV option: never evict; overflow to the LLC.
+        replacement_disabled: bool,
+    },
+    /// An unlimited-capacity directory (the paper's idealised comparison
+    /// point in Figures 2–4).
+    Unbounded,
+    /// No dedicated directory structure at all; every entry lives in the LLC
+    /// (ZeroDEV "No Dir" configurations). Invalid without ZeroDEV.
+    None,
+    /// SecDir (Yan et al., ISCA 2019): per-core private partitions plus a
+    /// shared partition, iso-storage with a `ratio ×` baseline directory.
+    SecDir(SecDirGeometry),
+    /// Multi-grain Directory (Zebchuk et al., MICRO 2013): one entry can
+    /// track a private 1 KB region; shared blocks get block-grain entries.
+    MultiGrain {
+        /// Entries relative to aggregate private-L2 blocks.
+        ratio: Ratio,
+        /// Set associativity.
+        ways: usize,
+    },
+}
+
+/// Per-slice SecDir partition geometry.
+///
+/// The paper's 8-core 1× configuration partitions each 512-set × 8-way
+/// baseline slice into eight private zones of 32 sets × 7 ways plus a shared
+/// zone of 512 sets × 5 ways.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SecDirGeometry {
+    /// Sets in the shared partition of one slice.
+    pub shared_sets: usize,
+    /// Ways in the shared partition.
+    pub shared_ways: usize,
+    /// Sets in each per-core private partition of one slice.
+    pub private_sets: usize,
+    /// Ways in each per-core private partition.
+    pub private_ways: usize,
+}
+
+impl SecDirGeometry {
+    /// The paper's 8-core, 1×-iso-storage geometry.
+    pub fn eight_core_1x() -> Self {
+        SecDirGeometry {
+            shared_sets: 512,
+            shared_ways: 5,
+            private_sets: 32,
+            private_ways: 7,
+        }
+    }
+
+    /// The paper's 8-core, 1/8×-iso-storage geometry (sets divided by 8,
+    /// associativity unchanged).
+    pub fn eight_core_eighth() -> Self {
+        SecDirGeometry {
+            shared_sets: 64,
+            shared_ways: 5,
+            private_sets: 4,
+            private_ways: 7,
+        }
+    }
+
+    /// The paper's 128-core, 1× geometry: 128 private zones of 4 sets ×
+    /// 8 ways and a shared zone of 256 sets × 4 ways per slice.
+    pub fn server_1x() -> Self {
+        SecDirGeometry {
+            shared_sets: 256,
+            shared_ways: 4,
+            private_sets: 4,
+            private_ways: 8,
+        }
+    }
+
+    /// The paper's 128-core, 1/8× geometry: four-way fully-associative
+    /// private partitions and a 32-set × 4-way shared partition.
+    pub fn server_eighth() -> Self {
+        SecDirGeometry {
+            shared_sets: 32,
+            shared_ways: 4,
+            private_sets: 1,
+            private_ways: 4,
+        }
+    }
+}
+
+/// The LLC design being simulated (§III-A, §III-E, §III-F).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LlcDesign {
+    /// Non-inclusive, non-exclusive with always-fill on demand (baseline):
+    /// demand fills from memory allocate in the LLC *and* the requester's
+    /// private caches; LLC evictions do not invalidate core caches.
+    NonInclusive,
+    /// Exclusive-private-data (AMD Magny-Cours style): M/E blocks live only
+    /// in private caches; the LLC holds shared and evicted-owner blocks.
+    Epd,
+    /// Inclusive: every privately cached block is also in the LLC; LLC
+    /// eviction back-invalidates core caches.
+    Inclusive,
+}
+
+impl fmt::Display for LlcDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlcDesign::NonInclusive => write!(f, "non-inclusive"),
+            LlcDesign::Epd => write!(f, "EPD"),
+            LlcDesign::Inclusive => write!(f, "inclusive"),
+        }
+    }
+}
+
+/// ZeroDEV directory-entry caching policy in the LLC (§III-C).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpillPolicy {
+    /// Every overflowing entry takes a full LLC line (§III-C1).
+    SpillAll,
+    /// Fuse into the tracked block's line when its state is M/E, spill when
+    /// S (§III-C2). The policy the paper selects.
+    FusePrivateSpillShared,
+    /// Fuse whenever the tracked block is LLC-resident, regardless of state;
+    /// spill otherwise (§III-C3, ICCI-derived).
+    FuseAll,
+}
+
+impl fmt::Display for SpillPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpillPolicy::SpillAll => write!(f, "SpillAll"),
+            SpillPolicy::FusePrivateSpillShared => write!(f, "FPSS"),
+            SpillPolicy::FuseAll => write!(f, "FuseAll"),
+        }
+    }
+}
+
+/// LLC replacement-policy extension protecting cached directory entries
+/// (§III-D1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LlcReplacement {
+    /// Plain LRU (baseline; treats directory-entry lines like data lines).
+    Lru,
+    /// spill-protect LRU: a spilled entry is bumped to MRU right after its
+    /// block, so the block is always evicted first.
+    SpLru,
+    /// dataLRU: victimise every ordinary data/code line in the set before
+    /// any spilled or fused entry. The policy the paper selects.
+    DataLru,
+}
+
+impl fmt::Display for LlcReplacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LlcReplacement::Lru => write!(f, "LRU"),
+            LlcReplacement::SpLru => write!(f, "spLRU"),
+            LlcReplacement::DataLru => write!(f, "dataLRU"),
+        }
+    }
+}
+
+/// Socket-level directory handling in multi-socket systems (§III-D5).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SocketDirBacking {
+    /// Back the socket-level directory in home memory (first solution; used
+    /// for the paper's four-socket evaluation, baseline and ZeroDEV).
+    MemoryBacked,
+    /// ZeroDEV applied to socket-level entries: reserve a per-block memory
+    /// partition plus a DirEvict bit (second solution, constant overhead).
+    DirEvictBit,
+}
+
+/// How memory-housed directory-entry segments encode their sharer sets
+/// (§III-D: full-map is the paper's evaluated configuration; the hybrid
+/// limited-pointer / coarse-vector format is its scaling option for large
+/// socket counts — coarse decoding yields a safe superset of the sharers).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SegmentFormat {
+    /// One bit per core plus a state bit (`N + 1` bits per segment).
+    FullMap,
+    /// Up to `max_pointers` exact pointers, falling back to a coarse vector
+    /// of `coarse_bits` group bits.
+    Hybrid {
+        /// Pointer slots before falling back to coarse mode.
+        max_pointers: u8,
+        /// Coarse-vector width in bits (≤ 64).
+        coarse_bits: u8,
+    },
+}
+
+/// ZeroDEV-specific configuration; `None` in [`SystemConfig::zerodev`] means
+/// the baseline protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ZeroDevConfig {
+    /// How overflowing directory entries are accommodated in the LLC.
+    pub policy: SpillPolicy,
+    /// LLC replacement extension.
+    pub llc_replacement: LlcReplacement,
+    /// Encoding of memory-housed segments.
+    pub segment_format: SegmentFormat,
+}
+
+impl Default for ZeroDevConfig {
+    /// The configuration the paper converges on: FPSS + dataLRU with
+    /// full-map segments.
+    fn default() -> Self {
+        ZeroDevConfig {
+            policy: SpillPolicy::FusePrivateSpillShared,
+            llc_replacement: LlcReplacement::DataLru,
+            segment_format: SegmentFormat::FullMap,
+        }
+    }
+}
+
+/// On-chip interconnect parameters (Table I: 2D mesh, 1-cycle routing,
+/// 1-cycle link).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NocConfig {
+    /// Cycles per hop (router + link).
+    pub hop_cycles: u64,
+    /// Flit payload size in bytes (serialisation latency = extra flits).
+    pub flit_bytes: u64,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig {
+            hop_cycles: 2,
+            flit_bytes: 16,
+        }
+    }
+}
+
+/// DDR3-2133 main-memory parameters (Table I, modelled after DRAMSim2).
+/// All timing fields are in DRAM command-clock cycles (1066 MHz).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DramConfig {
+    /// Independent single-channel controllers.
+    pub channels: usize,
+    /// Ranks per channel.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks: usize,
+    /// Row-buffer size in bytes.
+    pub row_bytes: usize,
+    /// CAS latency (tCL).
+    pub t_cas: u64,
+    /// RAS-to-CAS delay (tRCD).
+    pub t_rcd: u64,
+    /// Row-precharge time (tRP).
+    pub t_rp: u64,
+    /// Row-active time (tRAS).
+    pub t_ras: u64,
+    /// Burst length in transfers (BL=8 → 4 command-clock cycles of data bus).
+    pub burst_len: u64,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 2,
+            ranks: 2,
+            banks: 8,
+            row_bytes: 1024,
+            t_cas: 14,
+            t_rcd: 14,
+            t_rp: 14,
+            t_ras: 35,
+            burst_len: 8,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Converts DRAM command-clock cycles to 4 GHz core cycles.
+    ///
+    /// DDR3-2133 runs a 1066 MHz command clock; at a 4 GHz core clock one
+    /// DRAM cycle is 15/4 core cycles.
+    pub fn to_core_cycles(&self, dram_cycles: u64) -> u64 {
+        dram_cycles * 15 / 4
+    }
+}
+
+/// The complete description of one simulated machine.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SystemConfig {
+    /// Cores per socket.
+    pub cores: usize,
+    /// Socket count (1 for the single-socket studies, 4 for §V multi-socket).
+    pub sockets: usize,
+    /// Cache-block size in bytes (64 everywhere).
+    pub block_bytes: usize,
+    /// Per-core L1 instruction cache.
+    pub l1i: CacheGeometry,
+    /// Per-core L1 data cache.
+    pub l1d: CacheGeometry,
+    /// Per-core unified L2 (the last-level private cache the directory
+    /// ratio is defined against).
+    pub l2: CacheGeometry,
+    /// L1 hit latency in core cycles.
+    pub l1_hit_cycles: u64,
+    /// Additional L2 hit latency (on top of the L1 lookup) in core cycles.
+    pub l2_hit_cycles: u64,
+    /// Shared LLC geometry (whole-socket capacity).
+    pub llc: CacheGeometry,
+    /// Number of LLC banks (each with an adjacent sparse-directory slice).
+    pub llc_banks: usize,
+    /// LLC tag-array lookup latency (CACTI: 3 cycles).
+    pub llc_tag_cycles: u64,
+    /// LLC data-array access latency (CACTI: 4 cycles).
+    pub llc_data_cycles: u64,
+    /// LLC inclusion design.
+    pub llc_design: LlcDesign,
+    /// Sparse-directory design.
+    pub directory: DirectoryKind,
+    /// ZeroDEV mechanisms; `None` = baseline protocol.
+    pub zerodev: Option<ZeroDevConfig>,
+    /// Interconnect parameters.
+    pub noc: NocConfig,
+    /// Main-memory parameters.
+    pub dram: DramConfig,
+    /// One-way inter-socket routing delay in core cycles (20 ns at 4 GHz).
+    pub inter_socket_cycles: u64,
+    /// Socket-level directory handling (multi-socket only).
+    pub socket_dir: SocketDirBacking,
+}
+
+impl SystemConfig {
+    /// Table I: the 8-core single-socket baseline — 32 KB 8-way L1s, 256 KB
+    /// 8-way L2, 8 MB 16-way 8-bank LLC, 1× 8-way sparse directory with
+    /// 1-bit NRU, two DDR3-2133 channels.
+    pub fn baseline_8core() -> Self {
+        SystemConfig {
+            cores: 8,
+            sockets: 1,
+            block_bytes: BLOCK_BYTES,
+            l1i: CacheGeometry::new(32 << 10, 8),
+            l1d: CacheGeometry::new(32 << 10, 8),
+            l2: CacheGeometry::new(256 << 10, 8),
+            l1_hit_cycles: 3,
+            l2_hit_cycles: 10,
+            llc: CacheGeometry::new(8 << 20, 16),
+            llc_banks: 8,
+            llc_tag_cycles: 3,
+            llc_data_cycles: 4,
+            llc_design: LlcDesign::NonInclusive,
+            directory: DirectoryKind::Sparse {
+                ratio: Ratio::ONE,
+                ways: 8,
+                replacement_disabled: false,
+            },
+            zerodev: None,
+            noc: NocConfig::default(),
+            dram: DramConfig::default(),
+            inter_socket_cycles: 80,
+            socket_dir: SocketDirBacking::MemoryBacked,
+        }
+    }
+
+    /// The 128-core single-socket server machine: 32 MB 16-way LLC, 128 KB
+    /// 8-way L2s, eight DDR3-2133 channels.
+    pub fn server_128core() -> Self {
+        let mut cfg = Self::baseline_8core();
+        cfg.cores = 128;
+        cfg.l2 = CacheGeometry::new(128 << 10, 8);
+        cfg.llc = CacheGeometry::new(32 << 20, 16);
+        cfg.llc_banks = 32;
+        cfg.dram.channels = 8;
+        cfg
+    }
+
+    /// The four-socket machine of §V: four 8-core sockets, each with an
+    /// 8 MB non-inclusive LLC; socket directory backed in home memory.
+    pub fn four_socket() -> Self {
+        let mut cfg = Self::baseline_8core();
+        cfg.sockets = 4;
+        cfg
+    }
+
+    /// Switches this configuration to ZeroDEV with the given options and
+    /// directory kind, returning `self` for chaining.
+    pub fn with_zerodev(mut self, zd: ZeroDevConfig, directory: DirectoryKind) -> Self {
+        // ZeroDEV always runs its sparse directory replacement-disabled
+        // (§III-C4: strictly better and simpler).
+        self.directory = match directory {
+            DirectoryKind::Sparse { ratio, ways, .. } => DirectoryKind::Sparse {
+                ratio,
+                ways,
+                replacement_disabled: true,
+            },
+            other => other,
+        };
+        self.zerodev = Some(zd);
+        self
+    }
+
+    /// Switches to a baseline (non-ZeroDEV) sparse directory of the given
+    /// size ratio, returning `self` for chaining.
+    pub fn with_sparse_dir(mut self, ratio: Ratio) -> Self {
+        self.directory = DirectoryKind::Sparse {
+            ratio,
+            ways: 8,
+            replacement_disabled: false,
+        };
+        self
+    }
+
+    /// Total blocks in all private last-level (L2) caches — the denominator
+    /// of the directory ratio `R`.
+    pub fn aggregate_l2_blocks(&self) -> usize {
+        self.l2.lines() * self.cores
+    }
+
+    /// Total entries in a `ratio ×` sparse directory for this machine.
+    pub fn dir_entries(&self, ratio: Ratio) -> usize {
+        ratio.apply(self.aggregate_l2_blocks())
+    }
+
+    /// LLC lines per bank.
+    pub fn llc_lines_per_bank(&self) -> usize {
+        self.llc.lines() / self.llc_banks
+    }
+
+    /// LLC sets per bank.
+    pub fn llc_sets_per_bank(&self) -> usize {
+        self.llc_lines_per_bank() / self.llc.ways
+    }
+
+    /// The home LLC bank of a block within its socket (low-order block-address
+    /// interleaving, standard for banked LLCs).
+    pub fn home_bank(&self, block: BlockAddr) -> BankId {
+        BankId((block.0 % self.llc_banks as u64) as u16)
+    }
+
+    /// The home socket of a block (interleaved above the bank bits so that
+    /// consecutive blocks spread across banks before sockets).
+    pub fn home_socket(&self, block: BlockAddr) -> SocketId {
+        SocketId(((block.0 >> 6) % self.sockets as u64) as u8)
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    /// Returns [`ConfigError`] when any structure has a non-positive or
+    /// non-power-of-two set count, the directory kind is inconsistent with
+    /// the ZeroDEV setting, or bank/core counts do not divide capacities.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn check_geom(name: &str, g: &CacheGeometry) -> Result<(), ConfigError> {
+            if g.ways == 0 || g.size_bytes == 0 {
+                return Err(ConfigError(format!("{name}: zero-sized")));
+            }
+            if !g.lines().is_multiple_of(g.ways) {
+                return Err(ConfigError(format!("{name}: lines not divisible by ways")));
+            }
+            if !g.sets().is_power_of_two() {
+                return Err(ConfigError(format!(
+                    "{name}: set count {} is not a power of two",
+                    g.sets()
+                )));
+            }
+            Ok(())
+        }
+        check_geom("l1i", &self.l1i)?;
+        check_geom("l1d", &self.l1d)?;
+        check_geom("l2", &self.l2)?;
+        if !self.llc.lines().is_multiple_of(self.llc_banks) {
+            return Err(ConfigError("LLC lines not divisible by banks".into()));
+        }
+        if !self.llc_lines_per_bank().is_multiple_of(self.llc.ways) {
+            return Err(ConfigError("LLC bank lines not divisible by ways".into()));
+        }
+        if !self.llc_sets_per_bank().is_power_of_two() {
+            return Err(ConfigError("LLC sets per bank not a power of two".into()));
+        }
+        if self.cores == 0 || self.sockets == 0 {
+            return Err(ConfigError("need at least one core and socket".into()));
+        }
+        if self.cores > 128 {
+            return Err(ConfigError("SharerSet supports at most 128 cores".into()));
+        }
+        if self.sockets > 32 {
+            return Err(ConfigError("SocketSet supports at most 32 sockets".into()));
+        }
+        match &self.directory {
+            DirectoryKind::None if self.zerodev.is_none() => {
+                return Err(ConfigError(
+                    "a directory-less machine requires ZeroDEV".into(),
+                ));
+            }
+            DirectoryKind::Sparse {
+                replacement_disabled: true,
+                ..
+            } if self.zerodev.is_none() => {
+                return Err(ConfigError(
+                    "replacement-disabled sparse directory requires ZeroDEV".into(),
+                ));
+            }
+            DirectoryKind::Sparse { ways, .. } | DirectoryKind::MultiGrain { ways, .. }
+                if *ways == 0 =>
+            {
+                return Err(ConfigError("directory needs at least one way".into()));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Renders the configuration as a human-readable multi-line summary
+    /// (the `fig_table1` harness prints this as the Table I reproduction).
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            s,
+            "cores/socket: {}   sockets: {}   block: {} B",
+            self.cores, self.sockets, self.block_bytes
+        );
+        let _ = writeln!(
+            s,
+            "L1I/L1D: {} KB {}-way   L2: {} KB {}-way (hit {} + {} cyc)",
+            self.l1i.size_bytes >> 10,
+            self.l1i.ways,
+            self.l2.size_bytes >> 10,
+            self.l2.ways,
+            self.l1_hit_cycles,
+            self.l2_hit_cycles
+        );
+        let _ = writeln!(
+            s,
+            "LLC: {} MB {}-way, {} banks, tag {} cyc, data {} cyc, {} design",
+            self.llc.size_bytes >> 20,
+            self.llc.ways,
+            self.llc_banks,
+            self.llc_tag_cycles,
+            self.llc_data_cycles,
+            self.llc_design
+        );
+        let _ = writeln!(s, "directory: {:?}", self.directory);
+        match self.zerodev {
+            Some(zd) => {
+                let _ = writeln!(
+                    s,
+                    "ZeroDEV: {} + {}",
+                    zd.policy, zd.llc_replacement
+                );
+            }
+            None => {
+                let _ = writeln!(s, "ZeroDEV: off (baseline protocol)");
+            }
+        }
+        let _ = writeln!(
+            s,
+            "NoC: 2D mesh, {} cyc/hop, {} B flits; inter-socket {} cyc",
+            self.noc.hop_cycles, self.noc.flit_bytes, self.inter_socket_cycles
+        );
+        let _ = writeln!(
+            s,
+            "DRAM: {} ch x {} ranks x {} banks, {} B rows, {}-{}-{}-{} (DDR3-2133)",
+            self.dram.channels,
+            self.dram.ranks,
+            self.dram.banks,
+            self.dram.row_bytes,
+            self.dram.t_cas,
+            self.dram.t_rcd,
+            self.dram.t_rp,
+            self.dram.t_ras
+        );
+        s
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline_8core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let cfg = SystemConfig::baseline_8core();
+        cfg.validate().expect("baseline valid");
+        assert_eq!(cfg.cores, 8);
+        assert_eq!(cfg.llc.size_bytes, 8 << 20);
+        assert_eq!(cfg.llc.ways, 16);
+        assert_eq!(cfg.llc_banks, 8);
+        // 1x directory = aggregate L2 blocks: 8 * 256KB / 64B = 32768.
+        assert_eq!(cfg.aggregate_l2_blocks(), 32768);
+        assert_eq!(cfg.dir_entries(Ratio::ONE), 32768);
+        // 32768 entries, 8 slices, 8 ways -> 512 sets per slice (paper: SecDir
+        // partitions "each baseline directory slice having 512 sets and 8 ways").
+        assert_eq!(cfg.dir_entries(Ratio::ONE) / cfg.llc_banks / 8, 512);
+        // 1x entries are 25% of LLC blocks (4:1 LLC:L2 capacity ratio).
+        assert_eq!(cfg.dir_entries(Ratio::ONE) * 4, cfg.llc.lines());
+    }
+
+    #[test]
+    fn server_config() {
+        let cfg = SystemConfig::server_128core();
+        cfg.validate().expect("server valid");
+        assert_eq!(cfg.cores, 128);
+        assert_eq!(cfg.llc.size_bytes, 32 << 20);
+        assert_eq!(cfg.dram.channels, 8);
+    }
+
+    #[test]
+    fn four_socket_config() {
+        let cfg = SystemConfig::four_socket();
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.sockets, 4);
+        // home_socket covers all sockets over a block range
+        let mut seen = [false; 4];
+        for b in 0..4096u64 {
+            seen[cfg.home_socket(BlockAddr(b)).0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn ratios() {
+        assert_eq!(Ratio::new(1, 8).apply(32768), 4096);
+        assert_eq!(Ratio::new(1, 32).apply(32768), 1024);
+        assert_eq!(Ratio::new(1, 2).to_string(), "1/2x");
+        assert_eq!(Ratio::ONE.to_string(), "1x");
+        assert!((Ratio::new(1, 4).as_f64() - 0.25).abs() < 1e-12);
+        // never rounds to zero
+        assert_eq!(Ratio::new(1, 1000).apply(10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_ratio_panics() {
+        let _ = Ratio::new(0, 1);
+    }
+
+    #[test]
+    fn validation_rejects_nodir_without_zerodev() {
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.directory = DirectoryKind::None;
+        assert!(cfg.validate().is_err());
+        let cfg = cfg.with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_repl_disabled_without_zerodev() {
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.directory = DirectoryKind::Sparse {
+            ratio: Ratio::ONE,
+            ways: 8,
+            replacement_disabled: true,
+        };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn with_zerodev_forces_replacement_disabled() {
+        let cfg = SystemConfig::baseline_8core().with_zerodev(
+            ZeroDevConfig::default(),
+            DirectoryKind::Sparse {
+                ratio: Ratio::new(1, 8),
+                ways: 8,
+                replacement_disabled: false,
+            },
+        );
+        match cfg.directory {
+            DirectoryKind::Sparse {
+                replacement_disabled,
+                ..
+            } => assert!(replacement_disabled),
+            _ => panic!("expected sparse"),
+        }
+    }
+
+    #[test]
+    fn home_mapping_covers_banks() {
+        let cfg = SystemConfig::baseline_8core();
+        let mut seen = vec![false; cfg.llc_banks];
+        for b in 0..64u64 {
+            seen[cfg.home_bank(BlockAddr(b)).0 as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn dram_clock_conversion() {
+        let d = DramConfig::default();
+        assert_eq!(d.to_core_cycles(4), 15);
+        assert_eq!(d.to_core_cycles(14), 52);
+    }
+
+    #[test]
+    fn describe_mentions_key_facts() {
+        let cfg = SystemConfig::baseline_8core();
+        let d = cfg.describe();
+        assert!(d.contains("8 MB"));
+        assert!(d.contains("DDR3-2133"));
+        assert!(d.contains("baseline protocol"));
+        let zd = SystemConfig::baseline_8core()
+            .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        assert!(zd.describe().contains("FPSS"));
+    }
+
+    #[test]
+    fn geometry_math() {
+        let g = CacheGeometry::new(8 << 20, 16);
+        assert_eq!(g.lines(), 131072);
+        assert_eq!(g.sets(), 8192);
+    }
+
+    #[test]
+    fn secdir_geometries() {
+        let g = SecDirGeometry::eight_core_1x();
+        // iso-storage sanity: shared 512*5 + 8 private zones * 32*7 entries
+        assert_eq!(g.shared_sets * g.shared_ways, 2560);
+        assert_eq!(g.private_sets * g.private_ways * 8, 1792);
+        let s = SecDirGeometry::server_eighth();
+        assert_eq!(s.private_sets, 1); // fully associative
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError("boom".into());
+        assert!(e.to_string().contains("boom"));
+    }
+}

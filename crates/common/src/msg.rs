@@ -1,0 +1,164 @@
+//! Coherence message classes and their on-wire sizes.
+//!
+//! The paper reports interconnect traffic in *total bytes communicated*
+//! (Figures 2, 3). Every protocol action in the simulator enumerates the
+//! messages it puts on the network; the NoC model sums their byte sizes.
+//!
+//! Sizing follows the usual convention: a control message is one 8-byte flit
+//! header (address + opcode + ids), a data message is header + 64-byte block.
+//! The ZeroDEV eviction notices that carry the low `3 + log2(N)` (or
+//! `4 + N`) reconstruction bits of a fused block are one byte larger than a
+//! plain control message — the "negligible overhead" the paper describes.
+
+/// The class of a coherence / memory message, used for traffic accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgClass {
+    /// Core request to the home LLC bank (GetS / GetX / Upgrade).
+    Request,
+    /// Home forwarding a request to an owner or sharer core.
+    Forward,
+    /// Invalidation sent to a sharer core.
+    Invalidation,
+    /// Dataless acknowledgement (inv-ack, busy-clear, upgrade response).
+    Ack,
+    /// Data response carrying a full cache block.
+    Data,
+    /// Clean eviction notice from a core (E or S state, dataless).
+    EvictNotice,
+    /// Clean eviction notice carrying fused-block reconstruction bits
+    /// (ZeroDEV: E-state evictions, and last-sharer retrieval in FuseAll).
+    EvictNoticeBits,
+    /// Dirty writeback from a core carrying the full block.
+    Writeback,
+    /// LLC-to-memory-controller read request.
+    MemRead,
+    /// Memory-controller-to-LLC read data.
+    MemReadData,
+    /// LLC-to-memory-controller write (block writeback).
+    MemWrite,
+    /// ZeroDEV directory-entry writeback to home memory (WB_DE, carries a
+    /// prepared 64-byte block with the entry in the source socket's segment).
+    WbDirEntry,
+    /// ZeroDEV directory-entry read request to home memory (GET_DE).
+    GetDirEntry,
+    /// "Directory entry not found" negative acknowledgement (DENF_NACK).
+    DenfNack,
+    /// Inter-socket request/response control traffic.
+    SocketCtrl,
+    /// Inter-socket data traffic (full block).
+    SocketData,
+}
+
+/// All message classes, in a stable order (for printing traffic breakdowns).
+pub const ALL_CLASSES: [MsgClass; 16] = [
+    MsgClass::Request,
+    MsgClass::Forward,
+    MsgClass::Invalidation,
+    MsgClass::Ack,
+    MsgClass::Data,
+    MsgClass::EvictNotice,
+    MsgClass::EvictNoticeBits,
+    MsgClass::Writeback,
+    MsgClass::MemRead,
+    MsgClass::MemReadData,
+    MsgClass::MemWrite,
+    MsgClass::WbDirEntry,
+    MsgClass::GetDirEntry,
+    MsgClass::DenfNack,
+    MsgClass::SocketCtrl,
+    MsgClass::SocketData,
+];
+
+impl MsgClass {
+    /// On-wire size of one message of this class, in bytes.
+    ///
+    /// ```
+    /// use zerodev_common::MsgClass;
+    /// assert_eq!(MsgClass::Request.bytes(), 8);
+    /// assert_eq!(MsgClass::Data.bytes(), 72);
+    /// assert!(MsgClass::EvictNoticeBits.bytes() > MsgClass::EvictNotice.bytes());
+    /// ```
+    pub fn bytes(self) -> u64 {
+        match self {
+            MsgClass::Request
+            | MsgClass::Forward
+            | MsgClass::Invalidation
+            | MsgClass::Ack
+            | MsgClass::EvictNotice
+            | MsgClass::MemRead
+            | MsgClass::GetDirEntry
+            | MsgClass::DenfNack
+            | MsgClass::SocketCtrl => 8,
+            MsgClass::EvictNoticeBits => 9,
+            MsgClass::Data
+            | MsgClass::Writeback
+            | MsgClass::MemReadData
+            | MsgClass::MemWrite
+            | MsgClass::WbDirEntry
+            | MsgClass::SocketData => 72,
+        }
+    }
+
+    /// True for classes that carry a full data block.
+    pub fn carries_block(self) -> bool {
+        self.bytes() >= 72
+    }
+
+    /// A short stable label for printing.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Request => "req",
+            MsgClass::Forward => "fwd",
+            MsgClass::Invalidation => "inv",
+            MsgClass::Ack => "ack",
+            MsgClass::Data => "data",
+            MsgClass::EvictNotice => "evict",
+            MsgClass::EvictNoticeBits => "evict+b",
+            MsgClass::Writeback => "wb",
+            MsgClass::MemRead => "mrd",
+            MsgClass::MemReadData => "mrd-d",
+            MsgClass::MemWrite => "mwr",
+            MsgClass::WbDirEntry => "wb_de",
+            MsgClass::GetDirEntry => "get_de",
+            MsgClass::DenfNack => "denf",
+            MsgClass::SocketCtrl => "sk-c",
+            MsgClass::SocketData => "sk-d",
+        }
+    }
+
+    /// Index of this class within [`ALL_CLASSES`].
+    pub fn index(self) -> usize {
+        ALL_CLASSES.iter().position(|&c| c == self).expect("class listed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_sane() {
+        for c in ALL_CLASSES {
+            assert!(c.bytes() >= 8, "{c:?} too small");
+            assert!(!c.label().is_empty());
+        }
+        assert_eq!(MsgClass::Data.bytes(), 72);
+        assert!(MsgClass::Data.carries_block());
+        assert!(!MsgClass::Ack.carries_block());
+    }
+
+    #[test]
+    fn evict_bits_overhead_is_one_byte() {
+        assert_eq!(
+            MsgClass::EvictNoticeBits.bytes() - MsgClass::EvictNotice.bytes(),
+            1
+        );
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        for (i, c) in ALL_CLASSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Compressed directory-entry representations for memory-housed segments.
+//!
+//! A full-map segment needs `N + 1` bits for an `N`-core socket, which caps
+//! a 64-byte home block at `⌊512 / (N+1)⌋` sockets (§III-D of the paper).
+//! To scale beyond that, the paper suggests "a hybrid of limited-pointer
+//! and coarse-vector formats \[that\] can dynamically choose between precise
+//! and imprecise representations depending on the sharer count". This
+//! module implements that hybrid:
+//!
+//! * up to `P` sharers: exact pointers (`P × ⌈log2 N⌉` bits);
+//! * more sharers: a coarse bit-vector where each bit covers a group of
+//!   `⌈N / V⌉` cores — decoding yields a *superset* of the true sharers,
+//!   which is always safe for a write-invalidate protocol (spurious
+//!   invalidations are acknowledged and ignored).
+
+use crate::directory::DirEntry;
+use zerodev_common::ids::SharerSet;
+use zerodev_common::{CoreId, DirState};
+
+pub use zerodev_common::config::SegmentFormat;
+
+/// A directory entry encoded into a fixed bit budget.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompressedEntry {
+    /// Exact sharer pointers (precise).
+    Pointers {
+        /// M/E or S.
+        state: DirState,
+        /// The sharer core ids.
+        ptrs: Vec<CoreId>,
+    },
+    /// Coarse-vector (imprecise superset).
+    Coarse {
+        /// M/E or S.
+        state: DirState,
+        /// One bit per core group.
+        mask: u64,
+        /// Cores per group.
+        group: u16,
+    },
+}
+
+/// Encoding/decoding operations for [`SegmentFormat`] (the format enum
+/// itself lives in `zerodev_common::config` so machine descriptions can
+/// select it).
+pub trait SegmentFormatExt {
+    /// Segment size in bits for an `N`-core socket (excluding the shared
+    /// valid/corrupted bookkeeping).
+    fn segment_bits(self, cores: usize) -> u32;
+    /// How many sockets' segments fit in a 64-byte (512-bit) home block.
+    fn sockets_per_block(self, cores: usize) -> usize;
+    /// Encodes an entry for an `N`-core socket.
+    fn encode(self, entry: &DirEntry, cores: usize) -> CompressedEntry;
+}
+
+impl SegmentFormatExt for SegmentFormat {
+    fn segment_bits(self, cores: usize) -> u32 {
+        match self {
+            SegmentFormat::FullMap => cores as u32 + 1,
+            SegmentFormat::Hybrid {
+                max_pointers,
+                coarse_bits,
+            } => {
+                let ptr_bits = (usize::BITS - (cores - 1).leading_zeros()).max(1);
+                // 1 state bit + 1 mode bit + max(pointer field, coarse field)
+                2 + (u32::from(max_pointers) * ptr_bits).max(u32::from(coarse_bits))
+            }
+        }
+    }
+
+    fn sockets_per_block(self, cores: usize) -> usize {
+        (512 / self.segment_bits(cores).max(1)) as usize
+    }
+
+    /// # Panics
+    /// Panics when the entry is dead or `cores` is zero.
+    fn encode(self, entry: &DirEntry, cores: usize) -> CompressedEntry {
+        assert!(cores > 0, "need at least one core");
+        assert!(!entry.is_dead(), "cannot encode a dead entry");
+        match self {
+            SegmentFormat::FullMap => CompressedEntry::Pointers {
+                state: entry.state,
+                ptrs: entry.sharers.iter().collect(),
+            },
+            SegmentFormat::Hybrid {
+                max_pointers,
+                coarse_bits,
+            } => {
+                let sharers: Vec<CoreId> = entry.sharers.iter().collect();
+                if sharers.len() <= usize::from(max_pointers) {
+                    CompressedEntry::Pointers {
+                        state: entry.state,
+                        ptrs: sharers,
+                    }
+                } else {
+                    let groups = u64::from(coarse_bits).max(1);
+                    let group = (cores as u64).div_ceil(groups).max(1) as u16;
+                    let mut mask = 0u64;
+                    for c in &sharers {
+                        mask |= 1 << (u64::from(c.0) / u64::from(group));
+                    }
+                    CompressedEntry::Coarse {
+                        state: entry.state,
+                        mask,
+                        group,
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl CompressedEntry {
+    /// Decodes back to a [`DirEntry`]. Coarse entries yield a *superset* of
+    /// the true sharers, clipped to the socket's core count.
+    pub fn decode(&self, cores: usize) -> DirEntry {
+        match self {
+            CompressedEntry::Pointers { state, ptrs } => DirEntry {
+                state: *state,
+                sharers: ptrs.iter().copied().collect(),
+            },
+            CompressedEntry::Coarse { state, mask, group } => {
+                let mut sharers = SharerSet::default();
+                for g in 0..64u64 {
+                    if mask & (1 << g) != 0 {
+                        for c in 0..u64::from(*group) {
+                            let core = g * u64::from(*group) + c;
+                            if core < cores as u64 {
+                                sharers.insert(CoreId(core as u16));
+                            }
+                        }
+                    }
+                }
+                DirEntry {
+                    state: *state,
+                    sharers,
+                }
+            }
+        }
+    }
+
+    /// True when decoding loses precision.
+    pub fn is_imprecise(&self) -> bool {
+        matches!(self, CompressedEntry::Coarse { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerodev_common::Prng;
+
+    fn entry_of(cores: &[u16], owned: bool) -> DirEntry {
+        DirEntry {
+            state: if owned { DirState::OwnedME } else { DirState::Shared },
+            sharers: cores.iter().map(|&c| CoreId(c)).collect(),
+        }
+    }
+
+    #[test]
+    fn full_map_round_trips_exactly() {
+        let e = entry_of(&[0, 5, 127], false);
+        let c = SegmentFormat::FullMap.encode(&e, 128);
+        assert!(!c.is_imprecise());
+        assert_eq!(c.decode(128), e);
+    }
+
+    #[test]
+    fn hybrid_pointers_are_exact_for_few_sharers() {
+        let f = SegmentFormat::Hybrid {
+            max_pointers: 3,
+            coarse_bits: 16,
+        };
+        let e = entry_of(&[2, 9, 77], false);
+        let c = f.encode(&e, 128);
+        assert!(!c.is_imprecise());
+        assert_eq!(c.decode(128), e);
+    }
+
+    #[test]
+    fn hybrid_coarse_yields_superset() {
+        let f = SegmentFormat::Hybrid {
+            max_pointers: 2,
+            coarse_bits: 8,
+        };
+        let e = entry_of(&[0, 17, 34, 99], false);
+        let c = f.encode(&e, 128);
+        assert!(c.is_imprecise());
+        let d = c.decode(128);
+        assert_eq!(d.state, e.state);
+        for s in e.sharers.iter() {
+            assert!(d.sharers.contains(s), "lost true sharer {s}");
+        }
+        assert!(d.sharers.count() >= e.sharers.count());
+        // Never invents cores beyond the socket.
+        assert!(d.sharers.iter().all(|c2| c2.0 < 128));
+    }
+
+    #[test]
+    fn owner_state_survives_encoding() {
+        let f = SegmentFormat::Hybrid {
+            max_pointers: 1,
+            coarse_bits: 8,
+        };
+        let e = entry_of(&[42], true);
+        let c = f.encode(&e, 128);
+        let d = c.decode(128);
+        assert_eq!(d.owner(), Some(CoreId(42)));
+    }
+
+    #[test]
+    fn segment_bits_and_socket_capacity() {
+        // Full map, 8 cores: 9 bits → 56 sockets per 512-bit block.
+        assert_eq!(SegmentFormat::FullMap.segment_bits(8), 9);
+        assert_eq!(SegmentFormat::FullMap.sockets_per_block(8), 56);
+        // Full map, 128 cores: 129 bits → only 3 sockets.
+        assert_eq!(SegmentFormat::FullMap.sockets_per_block(128), 3);
+        // Hybrid with 4 pointers of 7 bits for 128 cores: 2 + 28 = 30 bits
+        // → 17 sockets; the paper's scaling motivation.
+        let f = SegmentFormat::Hybrid {
+            max_pointers: 4,
+            coarse_bits: 16,
+        };
+        assert_eq!(f.segment_bits(128), 30);
+        assert_eq!(f.sockets_per_block(128), 17);
+        assert!(f.sockets_per_block(128) > SegmentFormat::FullMap.sockets_per_block(128));
+    }
+
+    #[test]
+    fn random_entries_never_lose_sharers() {
+        let f = SegmentFormat::Hybrid {
+            max_pointers: 4,
+            coarse_bits: 32,
+        };
+        let mut rng = Prng::seeded(21);
+        for _ in 0..500 {
+            let n = 1 + rng.below(12);
+            let mut e = DirEntry {
+                state: DirState::Shared,
+                sharers: SharerSet::default(),
+            };
+            for _ in 0..n {
+                e.sharers.insert(CoreId(rng.below(128) as u16));
+            }
+            let d = f.encode(&e, 128).decode(128);
+            for s in e.sharers.iter() {
+                assert!(d.sharers.contains(s));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dead entry")]
+    fn encoding_dead_entry_panics() {
+        let e = DirEntry {
+            state: DirState::Shared,
+            sharers: SharerSet::default(),
+        };
+        let _ = SegmentFormat::FullMap.encode(&e, 8);
+    }
+}

@@ -1,0 +1,433 @@
+//! Memory-side coherence state.
+//!
+//! Two pieces live behind the LLC:
+//!
+//! * **Corrupted home blocks** (§III-D): when ZeroDEV evicts a directory
+//!   entry from the LLC, the entry overwrites the home-memory copy of the
+//!   block it tracks. The 64-byte block is partitioned into fixed per-socket
+//!   segments, so entries from several sockets can be housed at once. The
+//!   data bits are destroyed until a full-block writeback restores them.
+//! * **The socket-level directory** (§III-D5): a bounded directory cache
+//!   whose entries are backed either in home memory (first solution) or in a
+//!   reserved per-block partition guarded by a DirEvict bit (second
+//!   solution). Neither backing generates DEVs.
+
+use crate::compress::SegmentFormatExt;
+use crate::directory::DirEntry;
+use std::collections::HashMap;
+use zerodev_cache::{Replacement, SetAssoc};
+use zerodev_common::config::{SegmentFormat, SocketDirBacking, SystemConfig};
+use zerodev_common::ids::SocketSet;
+use zerodev_common::{BlockAddr, Cycle, SocketId};
+use zerodev_dram::DramModel;
+
+/// A corrupted home-memory block: per-socket segments holding evicted
+/// intra-socket directory entries. With 64-byte blocks and full-map vectors
+/// this supports ⌊512/(N+1)⌋ sockets (§III-D) — far more than the 32 the
+/// simulator allows.
+#[derive(Clone, Debug, Default)]
+pub struct CorruptedBlock {
+    segments: Vec<(SocketId, DirEntry)>,
+}
+
+impl CorruptedBlock {
+    /// Sockets with a housed segment.
+    pub fn sockets(&self) -> SocketSet {
+        let mut s = SocketSet::default();
+        for (sk, _) in &self.segments {
+            s.insert(*sk);
+        }
+        s
+    }
+
+    /// The segment housed for `socket`.
+    pub fn segment(&self, socket: SocketId) -> Option<DirEntry> {
+        self.segments
+            .iter()
+            .find(|(sk, _)| *sk == socket)
+            .map(|(_, e)| *e)
+    }
+
+    fn set_segment(&mut self, socket: SocketId, entry: DirEntry) {
+        if let Some(slot) = self.segments.iter_mut().find(|(sk, _)| *sk == socket) {
+            slot.1 = entry;
+        } else {
+            self.segments.push((socket, entry));
+        }
+    }
+
+    fn take_segment(&mut self, socket: SocketId) -> Option<DirEntry> {
+        let pos = self.segments.iter().position(|(sk, _)| *sk == socket)?;
+        Some(self.segments.remove(pos).1)
+    }
+}
+
+/// Socket-level directory entry (coarse, per-socket sharer tracking).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SocketDirEntry {
+    /// One socket owns the block in M/E.
+    pub owned: bool,
+    /// Sockets holding copies.
+    pub sharers: SocketSet,
+}
+
+impl SocketDirEntry {
+    /// Entry for a block just granted exclusively to `socket`.
+    pub fn owned_by(socket: SocketId) -> Self {
+        SocketDirEntry {
+            owned: true,
+            sharers: SocketSet::only(socket),
+        }
+    }
+
+    /// The owning socket, when owned.
+    pub fn owner(&self) -> Option<SocketId> {
+        if self.owned {
+            self.sharers.any()
+        } else {
+            None
+        }
+    }
+}
+
+/// Result of a socket-level directory lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SocketDirLookup {
+    /// The entry, if the block is tracked.
+    pub entry: Option<SocketDirEntry>,
+    /// Whether the lookup hit the directory cache (a miss costs a home
+    /// memory access under the memory-backed scheme).
+    pub cached: bool,
+}
+
+/// Entries in the socket-level directory cache (per home socket).
+const SOCKET_DIR_CACHE_SETS: usize = 8192;
+const SOCKET_DIR_CACHE_WAYS: usize = 8;
+
+/// The memory side of one machine: per-socket DRAM plus corrupted-block
+/// bookkeeping and the socket-level directory for every home socket.
+#[derive(Debug)]
+pub struct MemorySide {
+    drams: Vec<DramModel>,
+    corrupted: HashMap<BlockAddr, CorruptedBlock>,
+    /// Per home socket: the bounded socket-directory cache.
+    dir_caches: Vec<SetAssoc<SocketDirEntry>>,
+    /// Per home socket: the complete backing store (memory or DirEvict
+    /// partitions — semantically identical at this level).
+    dir_backing: Vec<HashMap<BlockAddr, SocketDirEntry>>,
+    backing: SocketDirBacking,
+    sockets: usize,
+    cores: usize,
+    seg_format: SegmentFormat,
+    /// Dir-cache misses that needed the backing store.
+    pub dir_cache_misses: u64,
+    /// Dir-cache hits.
+    pub dir_cache_hits: u64,
+}
+
+impl MemorySide {
+    /// Builds the memory side for `cfg`.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        MemorySide {
+            drams: (0..cfg.sockets).map(|_| DramModel::new(cfg.dram)).collect(),
+            corrupted: HashMap::new(),
+            dir_caches: (0..cfg.sockets)
+                .map(|_| {
+                    SetAssoc::new(
+                        SOCKET_DIR_CACHE_SETS,
+                        SOCKET_DIR_CACHE_WAYS,
+                        Replacement::Lru,
+                    )
+                })
+                .collect(),
+            dir_backing: (0..cfg.sockets).map(|_| HashMap::new()).collect(),
+            backing: cfg.socket_dir,
+            sockets: cfg.sockets,
+            cores: cfg.cores,
+            seg_format: cfg
+                .zerodev
+                .map_or(SegmentFormat::FullMap, |z| z.segment_format),
+            dir_cache_misses: 0,
+            dir_cache_hits: 0,
+        }
+    }
+
+    /// Reads a block from the home socket's DRAM; returns completion time.
+    pub fn dram_read(&mut self, now: Cycle, home: SocketId, block: BlockAddr) -> Cycle {
+        self.drams[home.0 as usize].read(now, block)
+    }
+
+    /// Writes a block to the home socket's DRAM; returns completion time.
+    pub fn dram_write(&mut self, now: Cycle, home: SocketId, block: BlockAddr) -> Cycle {
+        self.drams[home.0 as usize].write(now, block)
+    }
+
+    /// DRAM (reads, writes) across all sockets.
+    pub fn dram_counts(&self) -> (u64, u64) {
+        self.drams
+            .iter()
+            .map(DramModel::rw_counts)
+            .fold((0, 0), |(r, w), (r2, w2)| (r + r2, w + w2))
+    }
+
+    // ---- corrupted home blocks -------------------------------------------
+
+    /// True when the home-memory copy of `block` is corrupted (houses at
+    /// least one evicted directory entry, so its data bits are invalid).
+    pub fn is_corrupted(&self, block: BlockAddr) -> bool {
+        self.corrupted.contains_key(&block)
+    }
+
+    /// The corrupted-block record, if any.
+    pub fn corrupted_block(&self, block: BlockAddr) -> Option<&CorruptedBlock> {
+        self.corrupted.get(&block)
+    }
+
+    /// Houses `entry` in `socket`'s segment of the home block. Returns true
+    /// when the block already housed a segment of *another* socket — the
+    /// case where the home must read-modify-write the memory block
+    /// (§III-D, Figure 14 steps (i)–(iii)).
+    pub fn house_entry(&mut self, block: BlockAddr, socket: SocketId, entry: DirEntry) -> bool {
+        // The segment stores the configured encoding; imprecise formats
+        // surface as a sharer superset when the entry is read back.
+        let stored = self.seg_format.encode(&entry, self.cores).decode(self.cores);
+        let cb = self.corrupted.entry(block).or_default();
+        let others = cb.sockets().iter().any(|s| s != socket);
+        cb.set_segment(socket, stored);
+        others
+    }
+
+    /// Extracts (removes) `socket`'s segment from the corrupted block; the
+    /// entry returns to living inside the socket. The block stays corrupted
+    /// (its data bits remain invalid) even when no segments remain, until a
+    /// full-block writeback restores it.
+    pub fn extract_entry(&mut self, block: BlockAddr, socket: SocketId) -> Option<DirEntry> {
+        self.corrupted.get_mut(&block)?.take_segment(socket)
+    }
+
+    /// Reads `socket`'s segment without removing it (GET_DE read phase).
+    pub fn peek_entry(&self, block: BlockAddr, socket: SocketId) -> Option<DirEntry> {
+        self.corrupted.get(&block)?.segment(socket)
+    }
+
+    /// Overwrites `socket`'s segment in place (GET_DE write-back phase).
+    ///
+    /// # Panics
+    /// Panics if the block is not corrupted.
+    pub fn rewrite_entry(&mut self, block: BlockAddr, socket: SocketId, entry: DirEntry) {
+        self.corrupted
+            .get_mut(&block)
+            .expect("rewrite requires corrupted block")
+            .set_segment(socket, entry);
+    }
+
+    /// Restores the block to clean data (a full-block writeback arrived),
+    /// dropping every housed segment.
+    pub fn restore(&mut self, block: BlockAddr) {
+        self.corrupted.remove(&block);
+    }
+
+    /// Number of currently corrupted home blocks (diagnostics).
+    pub fn corrupted_count(&self) -> usize {
+        self.corrupted.len()
+    }
+
+    // ---- socket-level directory ------------------------------------------
+
+    /// Looks up the socket-level entry for `block` at its home socket.
+    pub fn socket_dir_lookup(&mut self, home: SocketId, block: BlockAddr) -> SocketDirLookup {
+        if self.sockets == 1 {
+            // Single-socket machines do not instantiate socket coherence.
+            return SocketDirLookup {
+                entry: None,
+                cached: true,
+            };
+        }
+        let h = home.0 as usize;
+        if let Some(e) = self.dir_caches[h].touch(block.0, |_| true) {
+            self.dir_cache_hits += 1;
+            return SocketDirLookup {
+                entry: Some(*e),
+                cached: true,
+            };
+        }
+        let backed = self.dir_backing[h].get(&block).copied();
+        if let Some(e) = backed {
+            self.dir_cache_misses += 1;
+            // Refill the cache; evicted victims stay in the backing store.
+            let _ = self.dir_caches[h].insert(block.0, e, |_| false);
+            SocketDirLookup {
+                entry: Some(e),
+                cached: false,
+            }
+        } else {
+            // Untracked block: memory-resident state "Invalid".
+            SocketDirLookup {
+                entry: None,
+                cached: false,
+            }
+        }
+    }
+
+    /// Installs or updates the socket-level entry for `block`.
+    pub fn socket_dir_update(&mut self, home: SocketId, block: BlockAddr, entry: SocketDirEntry) {
+        if self.sockets == 1 {
+            return;
+        }
+        let h = home.0 as usize;
+        self.dir_backing[h].insert(block, entry);
+        if let Some(e) = self.dir_caches[h].peek_mut(block.0, |_| true) {
+            *e = entry;
+        } else {
+            let _ = self.dir_caches[h].insert(block.0, entry, |_| false);
+        }
+    }
+
+    /// Removes the socket-level entry (no socket holds a copy).
+    pub fn socket_dir_remove(&mut self, home: SocketId, block: BlockAddr) {
+        if self.sockets == 1 {
+            return;
+        }
+        let h = home.0 as usize;
+        self.dir_backing[h].remove(&block);
+        let _ = self.dir_caches[h].remove(block.0, |_| true);
+    }
+
+    /// Whether a directory-cache miss costs an extra home-memory read. Under
+    /// the DirEvict-bit scheme the entry rides along with the (parallel)
+    /// block read, so no extra access is charged.
+    pub fn miss_needs_memory_read(&self) -> bool {
+        self.backing == SocketDirBacking::MemoryBacked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerodev_common::CoreId;
+    use zerodev_common::SystemConfig;
+
+    fn mem(sockets: usize) -> MemorySide {
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.sockets = sockets;
+        MemorySide::new(&cfg)
+    }
+
+    #[test]
+    fn corrupted_block_lifecycle() {
+        let mut m = mem(4);
+        let b = BlockAddr(0x99);
+        assert!(!m.is_corrupted(b));
+        let e0 = DirEntry::owned(CoreId(1));
+        // First housing: no other socket's segment present.
+        assert!(!m.house_entry(b, SocketId(0), e0));
+        assert!(m.is_corrupted(b));
+        // Second socket: read-modify-write needed.
+        let e1 = DirEntry::shared(CoreId(3));
+        assert!(m.house_entry(b, SocketId(1), e1));
+        assert_eq!(m.peek_entry(b, SocketId(0)), Some(e0));
+        assert_eq!(m.corrupted_block(b).unwrap().sockets().count(), 2);
+        // Extraction removes one segment; block stays corrupted.
+        assert_eq!(m.extract_entry(b, SocketId(0)), Some(e0));
+        assert!(m.is_corrupted(b));
+        assert_eq!(m.peek_entry(b, SocketId(0)), None);
+        // Restore on full writeback.
+        m.restore(b);
+        assert!(!m.is_corrupted(b));
+        assert_eq!(m.corrupted_count(), 0);
+    }
+
+    #[test]
+    fn rehousing_same_socket_is_not_rmw() {
+        let mut m = mem(4);
+        let b = BlockAddr(0x7);
+        assert!(!m.house_entry(b, SocketId(2), DirEntry::owned(CoreId(0))));
+        // Same socket rewrites its own segment: no other-socket conflict.
+        assert!(!m.house_entry(b, SocketId(2), DirEntry::shared(CoreId(0))));
+    }
+
+    #[test]
+    fn rewrite_entry_in_place() {
+        let mut m = mem(2);
+        let b = BlockAddr(0x11);
+        m.house_entry(b, SocketId(0), DirEntry::owned(CoreId(0)));
+        let mut e = m.peek_entry(b, SocketId(0)).unwrap();
+        e.sharers.insert(CoreId(5));
+        m.rewrite_entry(b, SocketId(0), e);
+        assert_eq!(m.peek_entry(b, SocketId(0)).unwrap().sharers.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupted")]
+    fn rewrite_clean_block_panics() {
+        let mut m = mem(2);
+        m.rewrite_entry(BlockAddr(1), SocketId(0), DirEntry::owned(CoreId(0)));
+    }
+
+    #[test]
+    fn socket_dir_roundtrip() {
+        let mut m = mem(4);
+        let b = BlockAddr(0x123);
+        let home = SocketId(1);
+        assert_eq!(m.socket_dir_lookup(home, b).entry, None);
+        m.socket_dir_update(home, b, SocketDirEntry::owned_by(SocketId(3)));
+        let l = m.socket_dir_lookup(home, b);
+        assert!(l.cached);
+        assert_eq!(l.entry.unwrap().owner(), Some(SocketId(3)));
+        m.socket_dir_remove(home, b);
+        assert_eq!(m.socket_dir_lookup(home, b).entry, None);
+    }
+
+    #[test]
+    fn socket_dir_survives_cache_eviction() {
+        let mut m = mem(2);
+        let home = SocketId(0);
+        // Overflow one cache set: same set index, distinct tags.
+        let stride = SOCKET_DIR_CACHE_SETS as u64;
+        for i in 0..(SOCKET_DIR_CACHE_WAYS as u64 + 4) {
+            m.socket_dir_update(
+                home,
+                BlockAddr(i * stride),
+                SocketDirEntry::owned_by(SocketId(1)),
+            );
+        }
+        // The earliest entry was evicted from the cache but is recovered
+        // from the backing store (a dir-cache miss).
+        let l = m.socket_dir_lookup(home, BlockAddr(0));
+        assert_eq!(l.entry.unwrap().owner(), Some(SocketId(1)));
+        assert!(!l.cached);
+        assert!(m.dir_cache_misses >= 1);
+        assert!(m.miss_needs_memory_read());
+    }
+
+    #[test]
+    fn single_socket_skips_socket_dir() {
+        let mut m = mem(1);
+        let l = m.socket_dir_lookup(SocketId(0), BlockAddr(5));
+        assert_eq!(l.entry, None);
+        assert!(l.cached);
+        m.socket_dir_update(SocketId(0), BlockAddr(5), SocketDirEntry::owned_by(SocketId(0)));
+        assert_eq!(m.socket_dir_lookup(SocketId(0), BlockAddr(5)).entry, None);
+    }
+
+    #[test]
+    fn dram_passthrough() {
+        let mut m = mem(2);
+        let t = m.dram_read(Cycle(0), SocketId(1), BlockAddr(4));
+        assert!(t > Cycle(0));
+        m.dram_write(Cycle(0), SocketId(0), BlockAddr(8));
+        let (r, w) = m.dram_counts();
+        assert_eq!((r, w), (1, 1));
+    }
+
+    #[test]
+    fn socket_entry_helpers() {
+        let e = SocketDirEntry::owned_by(SocketId(2));
+        assert_eq!(e.owner(), Some(SocketId(2)));
+        let s = SocketDirEntry {
+            owned: false,
+            sharers: SocketSet::only(SocketId(1)),
+        };
+        assert_eq!(s.owner(), None);
+    }
+}

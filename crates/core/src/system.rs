@@ -1,0 +1,1102 @@
+//! The protocol engine: a home-serialised MESI write-invalidate directory
+//! protocol with the complete ZeroDEV extension set.
+//!
+//! # Modelling approach
+//!
+//! Each request is resolved *atomically at the home bank* at its arrival
+//! time: the full critical-path latency (NoC hops, tag/data array accesses,
+//! bank port queueing, DRAM timing, forwarding hops, invalidation round
+//! trips) is computed and charged before the response, and all coherence
+//! state is updated synchronously. Every message the transaction puts on
+//! the wire is recorded for traffic accounting. This avoids the transient-
+//! state explosion of a message-level protocol while preserving the paper's
+//! performance effects — extra hops, extra LLC data-array lookups,
+//! DEV-induced misses, and DRAM traffic. The race-prone flow the paper
+//! singles out (a racing directory-entry eviction in a forwarded socket,
+//! §III-D6) depends on *stable* state — the entry having been written back
+//! to home memory — so the `DENF_NACK` path is exercised faithfully.
+//!
+//! The private L1/L2 caches live in the `zerodev-sim` crate; they call
+//! [`System::access`] on a private-hierarchy miss and [`System::evict`] on
+//! every L2 victim (the paper's protocol notifies the directory of all
+//! evictions, with clean notices carrying no data). Invalidations and
+//! downgrades that the transaction produced are returned to the caller,
+//! which applies them to the private arrays and reports back dirty data
+//! through [`System::dev_dirty_recall`], [`System::sharing_writeback`] and
+//! [`System::inclusion_dirty_writeback`] (the directory cannot distinguish
+//! M from E, so only the core knows whether an invalidated or downgraded
+//! line carried dirty data).
+
+use crate::directory::{AllocOutcome, DirEntry, DirStore, EvictedEntry};
+use crate::llc::{LlcBank, LlcLine, SpillOutcome};
+use crate::memdir::{MemorySide, SocketDirEntry};
+use zerodev_common::config::{
+    ConfigError, LlcDesign, LlcReplacement, SpillPolicy, SystemConfig, ZeroDevConfig,
+};
+use zerodev_common::ids::SocketSet;
+use zerodev_common::{
+    BlockAddr, CoreId, Cycle, DirState, MesiState, MsgClass, SocketId, Stats,
+};
+use zerodev_noc::SocketTopology;
+
+/// A core-cache request arriving at the uncore.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Demand data read (GetS).
+    Read,
+    /// Instruction fetch; code blocks always fill in S state (§III-A).
+    CodeRead,
+    /// Write miss (GetX / read-exclusive).
+    ReadExclusive,
+    /// Write hit on an S-state private copy (upgrade, dataless response).
+    Upgrade,
+}
+
+/// The kind of private-cache eviction being notified.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EvictKind {
+    /// Clean eviction of an S-state copy (dataless notice).
+    CleanShared,
+    /// Clean eviction of an E-state copy (dataless; under ZeroDEV it carries
+    /// the low reconstruction bits of a fused line, §III-C2).
+    CleanExclusive,
+    /// Dirty eviction of an M-state copy (full-block writeback).
+    Dirty,
+}
+
+/// Why a private copy is being invalidated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InvalReason {
+    /// Directory-entry eviction — a DEV. ZeroDEV guarantees none occur.
+    Dev,
+    /// LLC inclusion victim (inclusive designs only).
+    Inclusion,
+    /// Ordinary coherence (a write invalidating sharers).
+    Coherence,
+}
+
+/// An invalidation the caller must apply to a private cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Invalidation {
+    /// Socket of the core losing its copy.
+    pub socket: SocketId,
+    /// The core losing its copy.
+    pub core: CoreId,
+    /// The block.
+    pub block: BlockAddr,
+    /// Why.
+    pub reason: InvalReason,
+}
+
+/// A downgrade (M/E → S) the caller must apply to a private cache. If the
+/// line was M, the caller reports the dirty data via
+/// [`System::sharing_writeback`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Downgrade {
+    /// Socket of the owning core.
+    pub socket: SocketId,
+    /// The owning core.
+    pub core: CoreId,
+    /// The block.
+    pub block: BlockAddr,
+}
+
+/// The outcome of one uncore transaction.
+#[derive(Clone, Debug)]
+pub struct AccessResult {
+    /// Critical-path latency in core cycles, from issue to response.
+    pub latency: u64,
+    /// The MESI state granted to the requester.
+    pub grant: MesiState,
+    /// Private copies to invalidate.
+    pub invalidations: Vec<Invalidation>,
+    /// Private copies to downgrade to S.
+    pub downgrades: Vec<Downgrade>,
+}
+
+/// Where a directory entry currently lives within a socket.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EntryLoc {
+    /// In the dedicated directory structure.
+    Dedicated,
+    /// Spilled into a full LLC line.
+    Spilled,
+    /// Fused into the block's own LLC line.
+    Fused,
+}
+
+/// Per-socket uncore state.
+struct Socket {
+    banks: Vec<LlcBank>,
+    dir: DirStore,
+    topo: SocketTopology,
+}
+
+/// The complete coherent machine: all sockets plus the memory side.
+pub struct System {
+    cfg: SystemConfig,
+    sockets: Vec<Socket>,
+    mem: MemorySide,
+    /// All event counters.
+    pub stats: Stats,
+}
+
+impl System {
+    /// Builds the machine described by `cfg`.
+    ///
+    /// # Errors
+    /// Returns the underlying [`ConfigError`] when `cfg` is inconsistent.
+    pub fn new(cfg: SystemConfig) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let sets = cfg.llc_sets_per_bank();
+        let sockets = (0..cfg.sockets)
+            .map(|_| Socket {
+                banks: (0..cfg.llc_banks)
+                    .map(|b| LlcBank::new(sets, cfg.llc.ways, cfg.llc_banks, b))
+                    .collect(),
+                dir: DirStore::build(&cfg),
+                topo: SocketTopology::new(cfg.cores, cfg.llc_banks, cfg.dram.channels, cfg.noc),
+            })
+            .collect();
+        let mem = MemorySide::new(&cfg);
+        Ok(System {
+            cfg,
+            sockets,
+            mem,
+            stats: Stats::new(),
+        })
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The memory side (diagnostics: corrupted blocks, DRAM counters).
+    pub fn memory(&self) -> &MemorySide {
+        &self.mem
+    }
+
+    fn zd(&self) -> Option<ZeroDevConfig> {
+        self.cfg.zerodev
+    }
+
+    fn policy(&self) -> LlcReplacement {
+        self.zd().map_or(LlcReplacement::Lru, |z| z.llc_replacement)
+    }
+
+    #[inline]
+    fn bank_of(&self, block: BlockAddr) -> usize {
+        self.cfg.home_bank(block).0 as usize
+    }
+
+    /// Finds the directory entry for `block` within socket `s`, wherever it
+    /// lives (dedicated structure, spilled line, or fused line). The lookup
+    /// itself costs no extra latency: the dedicated directory is probed in
+    /// parallel with the LLC tags, and LLC-resident entries are discovered
+    /// by the same tag lookup.
+    fn find_entry(&self, s: usize, block: BlockAddr) -> Option<(DirEntry, EntryLoc)> {
+        if let Some(e) = self.sockets[s].dir.peek(block) {
+            return Some((e, EntryLoc::Dedicated));
+        }
+        let bank = &self.sockets[s].banks[self.bank_of(block)];
+        if let Some(LlcLine::Fused { entry, .. }) = bank.block_line(block) {
+            return Some((entry, EntryLoc::Fused));
+        }
+        bank.spilled_entry(block).map(|e| (e, EntryLoc::Spilled))
+    }
+
+    /// Charges bank-port occupancy: the transaction uses the port at `t` for
+    /// `busy` cycles; returns the (possibly queued) service start time.
+    fn bank_port(&mut self, s: usize, bank: usize, t: Cycle, busy: u64) -> Cycle {
+        let port = &mut self.sockets[s].banks[bank].port_free;
+        let start = t.max(*port);
+        *port = start + busy;
+        start
+    }
+
+    /// Recovers a directory entry housed in the home-memory copy of
+    /// `block` (§III-D3 step 3): reads the corrupted block, extracts this
+    /// socket's segment (one extra cycle), and reinstalls it in the socket.
+    fn recover_housed_entry(
+        &mut self,
+        t: &mut Cycle,
+        s: usize,
+        now: Cycle,
+        block: BlockAddr,
+        invals: &mut Vec<Invalidation>,
+    ) -> Option<(DirEntry, EntryLoc)> {
+        let home = self.cfg.home_socket(block);
+        self.stats.msg(MsgClass::MemRead);
+        if home.0 as usize != s {
+            *t += self.cfg.inter_socket_cycles;
+            self.stats.msg(MsgClass::SocketCtrl);
+        }
+        self.stats.dram_reads += 1;
+        let tm = self.mem.dram_read(*t, home, block);
+        self.stats.msg(MsgClass::MemReadData);
+        *t = tm + 1;
+        if home.0 as usize != s {
+            *t += self.cfg.inter_socket_cycles;
+            self.stats.msg(MsgClass::SocketData);
+        }
+        let entry = self.mem.extract_entry(block, SocketId(s as u8))?;
+        self.install_entry(now, s, block, entry, invals);
+        self.track_live(-1); // re-installed, not newly live
+        let loc = self.relocate(s, block).expect("entry just installed");
+        Some((entry, loc))
+    }
+
+    // ---------------------------------------------------------------------
+    // Entry placement and maintenance
+    // ---------------------------------------------------------------------
+
+    /// Places a brand-new entry: dedicated structure first, LLC on overflow.
+    /// Baseline victims become DEV invalidations appended to `invals`.
+    fn install_entry(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        block: BlockAddr,
+        entry: DirEntry,
+        invals: &mut Vec<Invalidation>,
+    ) {
+        self.stats.dir_allocs += 1;
+        let outcome = self.sockets[s].dir.allocate(block, entry);
+        self.track_live(1);
+        match outcome {
+            AllocOutcome::Stored => {}
+            AllocOutcome::Evicted(victims) => {
+                self.stats.dir_evictions += victims.len() as u64;
+                self.track_live(-(victims.len() as i64));
+                self.apply_dev_victims(now, s, &victims, invals);
+            }
+            AllocOutcome::Overflow => {
+                self.accommodate_in_llc(now, s, block, entry, invals);
+            }
+        }
+    }
+
+    /// Gauge upkeep for Figure 5 (exact for Sparse/Unbounded/None stores).
+    fn track_live(&mut self, delta: i64) {
+        if delta < 0 && self.stats.dir_live_entries < (-delta) as u64 {
+            // SecDir/MgD partial victims can make the simple gauge drift;
+            // clamp rather than panic (the gauge is only read in
+            // unbounded-directory experiments, where it is exact).
+            self.stats.dir_live_entries = 0;
+            return;
+        }
+        self.stats.adjust_dir_live(delta);
+    }
+
+    /// Baseline directory eviction: every tracked private copy becomes a
+    /// DEV. Dirty owners are detected by the caller (only the core knows)
+    /// and reported through [`System::dev_dirty_recall`].
+    fn apply_dev_victims(
+        &mut self,
+        _now: Cycle,
+        s: usize,
+        victims: &[EvictedEntry],
+        invals: &mut Vec<Invalidation>,
+    ) {
+        for (vblock, ventry) in victims {
+            let n = ventry.sharers.count() as u64;
+            self.stats.dev_invalidations += n;
+            self.stats.msg_n(MsgClass::Invalidation, n);
+            self.stats.msg_n(MsgClass::Ack, n);
+            for core in ventry.sharers.iter() {
+                invals.push(Invalidation {
+                    socket: SocketId(s as u8),
+                    core,
+                    block: *vblock,
+                    reason: InvalReason::Dev,
+                });
+            }
+        }
+    }
+
+    /// Accommodates an overflowing entry in the LLC per the configured
+    /// ZeroDEV policy (§III-C).
+    fn accommodate_in_llc(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        block: BlockAddr,
+        entry: DirEntry,
+        invals: &mut Vec<Invalidation>,
+    ) {
+        let zd = self.zd().expect("overflow only occurs under ZeroDEV");
+        let bank = self.bank_of(block);
+        let has_block = self.sockets[s].banks[bank].block_line(block).is_some();
+        let fuse = match zd.policy {
+            SpillPolicy::SpillAll => false,
+            SpillPolicy::FusePrivateSpillShared => has_block && entry.state.is_owned(),
+            SpillPolicy::FuseAll => has_block,
+        };
+        self.stats.llc_dir_accesses += 1;
+        if fuse {
+            // Fusing rides along with the block's own fill/update — no
+            // separate data-array access (the FPSS design point, §III-C2).
+            self.stats.dir_fuses += 1;
+            self.sockets[s].banks[bank].fuse_entry(block, entry);
+        } else {
+            self.stats.dir_spills += 1;
+            self.stats.llc_data_accesses += 1;
+            let policy = self.policy();
+            match self.sockets[s].banks[bank].spill_entry(block, entry, policy) {
+                SpillOutcome::Updated => {}
+                SpillOutcome::Inserted(victim) => {
+                    self.stats.adjust_spilled_lines(1);
+                    if let Some(v) = victim {
+                        self.handle_llc_victim(now, s, v, invals);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rewrites a live entry in place, maintaining the FPSS invariants
+    /// (fused ⇒ M/E when the block is resident; spilled ⇒ S), §III-C2.
+    fn update_entry(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        block: BlockAddr,
+        entry: DirEntry,
+        loc: EntryLoc,
+        invals: &mut Vec<Invalidation>,
+    ) {
+        debug_assert!(!entry.is_dead());
+        let bank = self.bank_of(block);
+        let fpss = self.zd().map(|z| z.policy) == Some(SpillPolicy::FusePrivateSpillShared);
+        match loc {
+            EntryLoc::Dedicated => {
+                let victims = self.sockets[s].dir.update(block, entry);
+                if !victims.is_empty() {
+                    self.stats.dir_evictions += victims.len() as u64;
+                    self.apply_dev_victims(now, s, &victims, invals);
+                }
+            }
+            EntryLoc::Spilled => {
+                self.stats.llc_dir_accesses += 1;
+                self.stats.llc_data_accesses += 1;
+                let has_block = self.sockets[s].banks[bank].block_line(block).is_some();
+                if fpss && entry.state.is_owned() && has_block {
+                    // S→M/E with the block resident: fuse, free the spill.
+                    if self.sockets[s].banks[bank].remove_spilled(block).is_some() {
+                        self.stats.adjust_spilled_lines(-1);
+                    }
+                    self.stats.dir_fuses += 1;
+                    self.sockets[s].banks[bank].fuse_entry(block, entry);
+                } else {
+                    let policy = self.policy();
+                    match self.sockets[s].banks[bank].spill_entry(block, entry, policy) {
+                        SpillOutcome::Updated => {}
+                        SpillOutcome::Inserted(victim) => {
+                            // The spilled line vanished mid-transaction (a
+                            // fill pushed it home via WB_DE); re-created
+                            // here, so pull the housed segment back.
+                            let _ = self.mem.extract_entry(block, SocketId(s as u8));
+                            self.stats.adjust_spilled_lines(1);
+                            if let Some(v) = victim {
+                                self.handle_llc_victim(now, s, v, invals);
+                            }
+                        }
+                    }
+                }
+            }
+            EntryLoc::Fused => {
+                self.stats.llc_dir_accesses += 1;
+                if fpss && !entry.state.is_owned() {
+                    self.stats.llc_data_accesses += 1; // the new spill write
+                    // M/E→S: spill the entry and reconstruct the block from
+                    // the owner's low bits sent with the busy-clear message.
+                    let _ = self.sockets[s].banks[bank].unfuse(block);
+                    self.stats.msg(MsgClass::EvictNoticeBits);
+                    self.stats.dir_spills += 1;
+                    let policy = self.policy();
+                    match self.sockets[s].banks[bank].spill_entry(block, entry, policy) {
+                        SpillOutcome::Updated => {}
+                        SpillOutcome::Inserted(victim) => {
+                            self.stats.adjust_spilled_lines(1);
+                            if let Some(v) = victim {
+                                self.handle_llc_victim(now, s, v, invals);
+                            }
+                        }
+                    }
+                } else {
+                    self.sockets[s].banks[bank].fuse_entry(block, entry);
+                }
+            }
+        }
+    }
+
+    /// Frees a live entry (all private copies gone). A fused line reverts to
+    /// a plain data line, reconstructed from the bits carried by the final
+    /// eviction notice (`retrieval` charges the FuseAll special-ack round
+    /// trip when the notice did not carry them). Robust against the entry
+    /// having left for home memory mid-transaction (WB_DE by an LLC fill of
+    /// the same transaction): the housed segment is discarded instead.
+    fn free_entry(&mut self, s: usize, block: BlockAddr, loc: EntryLoc, retrieval: bool) {
+        let bank = self.bank_of(block);
+        match loc {
+            EntryLoc::Dedicated => {
+                let _ = self.sockets[s].dir.remove(block);
+            }
+            EntryLoc::Spilled => {
+                if self.sockets[s].banks[bank].remove_spilled(block).is_some() {
+                    self.stats.adjust_spilled_lines(-1);
+                }
+                self.stats.llc_dir_accesses += 1;
+                self.stats.llc_data_accesses += 1;
+            }
+            EntryLoc::Fused => {
+                if retrieval {
+                    // §III-C3: retrieve the corrupted low bits from the last
+                    // sharer's eviction buffer with a special acknowledgement.
+                    self.stats.msg(MsgClass::Ack);
+                    self.stats.msg(MsgClass::EvictNoticeBits);
+                }
+                if matches!(
+                    self.sockets[s].banks[bank].block_line(block),
+                    Some(LlcLine::Fused { .. })
+                ) {
+                    let _ = self.sockets[s].banks[bank].unfuse(block);
+                }
+                self.stats.llc_dir_accesses += 1;
+            }
+        }
+        self.track_live(-1);
+    }
+
+    /// After the last trace of `block` left socket `s`, restore the home
+    /// memory copy if it was corrupted: the departing data (from the
+    /// evicting core or the LLC line) overwrites the housed segments
+    /// (§III-D4, last paragraph). Charges the full-block retrieval.
+    fn restore_if_last_copy(&mut self, now: Cycle, s: usize, block: BlockAddr) {
+        if !self.mem.is_corrupted(block) {
+            return;
+        }
+        let me = SocketId(s as u8);
+        let _ = self.mem.extract_entry(block, me);
+        // Another socket may still hold copies (its segment or entry lives
+        // on); only the system-wide last copy restores.
+        let others_have_segments = self
+            .mem
+            .corrupted_block(block)
+            .is_some_and(|cb| !cb.sockets().is_empty());
+        if others_have_segments {
+            return;
+        }
+        if self.cfg.sockets > 1 {
+            let home = self.cfg.home_socket(block);
+            let lookup = self.mem.socket_dir_lookup(home, block);
+            if let Some(se) = lookup.entry {
+                let other_sockets = se.sharers.iter().any(|x| x != me);
+                if other_sockets {
+                    return;
+                }
+            }
+        }
+        let home = self.cfg.home_socket(block);
+        self.stats.msg(MsgClass::Writeback);
+        if home.0 as usize != s {
+            self.stats.msg(MsgClass::SocketData);
+        }
+        self.mem.restore(block);
+        self.mem.dram_write(now, home, block);
+        self.stats.dram_writes += 1;
+    }
+
+    /// Rewrites a live entry wherever it now lives: in the socket (the
+    /// common case) or — when an LLC fill earlier in this transaction pushed
+    /// it home via WB_DE — in its home-memory segment.
+    fn write_entry_anywhere(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        block: BlockAddr,
+        entry: DirEntry,
+        invals: &mut Vec<Invalidation>,
+    ) {
+        match self.relocate(s, block) {
+            Some(loc) => self.update_entry(now, s, block, entry, loc, invals),
+            None => {
+                let home = self.cfg.home_socket(block);
+                self.mem.rewrite_entry(block, SocketId(s as u8), entry);
+                self.mem.dram_write(now, home, block);
+                self.stats.dram_writes += 1;
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // LLC fills and victims
+    // ---------------------------------------------------------------------
+
+    /// Fills (or updates) the data line for `block` in socket `s`,
+    /// processing any victim.
+    fn fill_llc(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        block: BlockAddr,
+        dirty: bool,
+        invals: &mut Vec<Invalidation>,
+    ) {
+        let bank = self.bank_of(block);
+        let policy = self.policy();
+        self.stats.llc_data_accesses += 1;
+        let victim = self.sockets[s].banks[bank].fill_data(block, dirty, policy);
+        if let Some(v) = victim {
+            self.handle_llc_victim(now, s, v, invals);
+        }
+    }
+
+    /// Processes a line evicted from an LLC set: dirty data goes to home
+    /// memory, spilled/fused entries trigger the WB_DE flow (§III-D), and
+    /// inclusive designs back-invalidate private copies.
+    fn handle_llc_victim(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        victim: (BlockAddr, LlcLine),
+        invals: &mut Vec<Invalidation>,
+    ) {
+        let (vblock, line) = victim;
+        match line {
+            LlcLine::Data { dirty } => {
+                if self.cfg.llc_design == LlcDesign::Inclusive {
+                    // Back-invalidate every private copy; the freed entry is
+                    // an inclusion casualty, not a DEV.
+                    if let Some((entry, loc)) = self.find_entry(s, vblock) {
+                        let n = entry.sharers.count() as u64;
+                        self.stats.inclusion_invalidations += n;
+                        self.stats.msg_n(MsgClass::Invalidation, n);
+                        self.stats.msg_n(MsgClass::Ack, n);
+                        for core in entry.sharers.iter() {
+                            invals.push(Invalidation {
+                                socket: SocketId(s as u8),
+                                core,
+                                block: vblock,
+                                reason: InvalReason::Inclusion,
+                            });
+                        }
+                        // The block line is gone already; a spilled entry in
+                        // the same set is freed; `loc` cannot be Fused (the
+                        // victim was a plain data line).
+                        self.free_entry(s, vblock, loc, false);
+                        if !dirty {
+                            self.restore_if_last_copy(now, s, vblock);
+                        }
+                    }
+                }
+                if dirty {
+                    self.writeback_to_memory(now, s, vblock);
+                } else if self.mem.is_corrupted(vblock) && self.find_entry(s, vblock).is_none() {
+                    // Clean data leaving the socket while home memory is
+                    // corrupted and no private copies remain: this line was
+                    // the last data source — restore memory from it.
+                    self.restore_if_last_copy(now, s, vblock);
+                }
+                self.departure_check(now, s, vblock);
+            }
+            LlcLine::Spilled { entry } => {
+                self.stats.adjust_spilled_lines(-1);
+                self.wbde(now, s, vblock, entry);
+            }
+            LlcLine::Fused { entry, block_dirty } => {
+                if self.cfg.llc_design == LlcDesign::Inclusive {
+                    // Inclusion: evicting the line invalidates the private
+                    // copies, which frees the entry — no directory entry is
+                    // ever evicted from an inclusive LLC (§III-F).
+                    let n = entry.sharers.count() as u64;
+                    self.stats.inclusion_invalidations += n;
+                    self.stats.msg_n(MsgClass::Invalidation, n);
+                    self.stats.msg_n(MsgClass::Ack, n);
+                    for core in entry.sharers.iter() {
+                        invals.push(Invalidation {
+                            socket: SocketId(s as u8),
+                            core,
+                            block: vblock,
+                            reason: InvalReason::Inclusion,
+                        });
+                    }
+                    self.track_live(-1);
+                    if block_dirty {
+                        self.writeback_to_memory(now, s, vblock);
+                    } else {
+                        self.restore_if_last_copy(now, s, vblock);
+                    }
+                } else {
+                    // The entry goes home; the block bits need no writeback
+                    // — the owner (FPSS) or the sharers (FuseAll) hold the
+                    // block, and a last-copy eviction of a corrupted block
+                    // retrieves it.
+                    self.wbde(now, s, vblock, entry);
+                }
+                self.departure_check(now, s, vblock);
+            }
+        }
+    }
+
+    /// The WB_DE flow: a fused or spilled entry evicted from the LLC
+    /// overwrites the home-memory copy of the block it tracks (Figure 14).
+    fn wbde(&mut self, now: Cycle, s: usize, block: BlockAddr, entry: DirEntry) {
+        self.stats.dir_llc_evictions += 1;
+        let home = self.cfg.home_socket(block);
+        self.stats.msg(MsgClass::WbDirEntry);
+        if home.0 as usize != s {
+            self.stats.msg(MsgClass::SocketData);
+        }
+        let rmw = self.mem.house_entry(block, SocketId(s as u8), entry);
+        if rmw {
+            // Another socket's segment is housed: read-modify-write.
+            self.stats.dram_reads_dir += 1;
+            self.stats.dram_reads += 1;
+            let t = self.mem.dram_read(now, home, block);
+            self.mem.dram_write(t, home, block);
+        } else {
+            self.mem.dram_write(now, home, block);
+        }
+        self.stats.dram_writes += 1;
+        self.stats.dram_writes_dir += 1;
+    }
+
+    /// Writes dirty data back to home memory, restoring a corrupted block
+    /// if necessary (the socket's own housed segment is pulled back in
+    /// first so no tracking is lost).
+    fn writeback_to_memory(&mut self, now: Cycle, s: usize, block: BlockAddr) {
+        let home = self.cfg.home_socket(block);
+        self.stats.msg(MsgClass::MemWrite);
+        if home.0 as usize != s {
+            self.stats.msg(MsgClass::SocketData);
+        }
+        if self.mem.is_corrupted(block) {
+            if let Some(entry) = self.mem.extract_entry(block, SocketId(s as u8)) {
+                // Plain-LRU ZeroDEV corner: the data line outlived its
+                // entry. Pull the entry back in before the data overwrite.
+                let mut dummy = Vec::new();
+                self.install_entry(now, s, block, entry, &mut dummy);
+                self.track_live(-1); // re-install, not a new live entry
+                debug_assert!(dummy.is_empty(), "reinstall under ZeroDEV cannot DEV");
+            }
+            if self
+                .mem
+                .corrupted_block(block)
+                .is_none_or(|cb| cb.sockets().is_empty())
+            {
+                self.mem.restore(block);
+            }
+        }
+        self.mem.dram_write(now, home, block);
+        self.stats.dram_writes += 1;
+    }
+
+    /// After a socket may have lost its last trace of `block`, update the
+    /// socket-level directory (multi-socket machines only).
+    fn departure_check(&mut self, _now: Cycle, s: usize, block: BlockAddr) {
+        if self.cfg.sockets == 1 {
+            return;
+        }
+        let has_entry = self.find_entry(s, block).is_some();
+        let has_line = self.sockets[s].banks[self.bank_of(block)]
+            .block_line(block)
+            .is_some();
+        let has_segment = self
+            .mem
+            .peek_entry(block, SocketId(s as u8))
+            .is_some();
+        if has_entry || has_line || has_segment {
+            return;
+        }
+        let home = self.cfg.home_socket(block);
+        let lookup = self.mem.socket_dir_lookup(home, block);
+        if let Some(mut e) = lookup.entry {
+            if e.sharers.contains(SocketId(s as u8)) {
+                self.stats.msg(MsgClass::SocketCtrl);
+                e.sharers.remove(SocketId(s as u8));
+                if e.sharers.is_empty() {
+                    self.mem.socket_dir_remove(home, block);
+                } else {
+                    if e.owner() == Some(SocketId(s as u8)) {
+                        e.owned = false;
+                    }
+                    self.mem.socket_dir_update(home, block, e);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // The request path
+    // ---------------------------------------------------------------------
+
+    /// Processes a private-hierarchy miss (or upgrade) from `core` in socket
+    /// `socket` at time `now`.
+    ///
+    /// # Panics
+    /// Panics (debug) when the caller violates the request contract, e.g.
+    /// issues an `Upgrade` for an untracked block.
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        socket: SocketId,
+        core: CoreId,
+        block: BlockAddr,
+        op: Op,
+    ) -> AccessResult {
+        let s = socket.0 as usize;
+        let bank = self.bank_of(block);
+        if op == Op::Upgrade {
+            self.stats.upgrades += 1;
+        } else {
+            self.stats.core_cache_misses += 1;
+        }
+        self.stats.msg(MsgClass::Request);
+        let mut t = now + self.sockets[s].topo.core_bank_latency(core.0 as usize, bank, 8);
+        // Tag array + dedicated directory probed in parallel.
+        t = self.bank_port(s, bank, t, self.cfg.llc_tag_cycles) + self.cfg.llc_tag_cycles;
+        self.stats.llc_tag_lookups += 1;
+        self.stats.dir_lookups += 1;
+
+        let mut invals = Vec::new();
+        let mut downgrades = Vec::new();
+        let found = self.find_entry(s, block);
+        let grant;
+
+        match op {
+            Op::Upgrade => {
+                // Under ZeroDEV the entry of an S block can be housed in
+                // home memory while sharers still hold copies; recover it
+                // first (read the corrupted block, extract, reinstall).
+                let (entry, loc) = match found {
+                    Some(x) => x,
+                    None => self
+                        .recover_housed_entry(&mut t, s, now, block, &mut invals)
+                        .expect("upgrade requires a tracked block"),
+                };
+                debug_assert!(entry.sharers.contains(core), "upgrader holds an S copy");
+                debug_assert_eq!(entry.state, DirState::Shared);
+                if loc != EntryLoc::Dedicated {
+                    // The entry must be read from the LLC data array before
+                    // the invalidation count can be returned.
+                    t += self.cfg.llc_data_cycles;
+                    self.stats.llc_dir_accesses += 1;
+                    self.stats.llc_data_accesses += 1;
+                }
+                let inv_path = self.invalidate_sharers(
+                    s,
+                    bank,
+                    block,
+                    &entry,
+                    Some(core),
+                    InvalReason::Coherence,
+                    &mut invals,
+                );
+                // Dataless response with the expected-ack count.
+                let resp = self.sockets[s].topo.bank_core_latency(bank, core.0 as usize, 8);
+                self.stats.msg(MsgClass::Ack);
+                t += resp.max(inv_path);
+                let new_entry = DirEntry::owned(core);
+                self.epd_on_private_transition(now, s, block);
+                let _ = loc;
+                self.write_entry_anywhere(now, s, block, new_entry, &mut invals);
+                // Remote sockets sharing the block must be invalidated too.
+                t += self.socket_level_invalidate(now, s, block, &mut invals);
+                grant = MesiState::Modified;
+            }
+            Op::Read | Op::CodeRead => {
+                let code = op == Op::CodeRead;
+                match found {
+                    Some((entry, loc)) if entry.state.is_owned() => {
+                        let owner = entry.owner().expect("owned entry has an owner");
+                        debug_assert_ne!(owner, core, "owner cannot miss on its own block");
+                        if loc != EntryLoc::Dedicated {
+                            t += self.cfg.llc_data_cycles;
+                            self.stats.llc_dir_accesses += 1;
+                            self.stats.llc_data_accesses += 1;
+                        }
+                        t += self.forward_to_core(s, bank, owner, core);
+                        self.stats.three_hop_reads += 1;
+                        downgrades.push(Downgrade {
+                            socket,
+                            core: owner,
+                            block,
+                        });
+                        // Sharing writeback lands the block in the LLC (EPD
+                        // allocates shared blocks; the caller marks it dirty
+                        // if the owner was in M).
+                        self.fill_llc(now, s, block, false, &mut invals);
+                        let mut e = entry;
+                        e.state = DirState::Shared;
+                        e.sharers.insert(core);
+                        // Re-locate: the fill may have moved or even
+                        // evicted the entry (WB_DE) within this transaction.
+                        let _ = loc;
+                        self.write_entry_anywhere(now, s, block, e, &mut invals);
+                        grant = MesiState::Shared;
+                    }
+                    Some((entry, loc)) => {
+                        // Shared entry.
+                        let has_data = {
+                            let line = self.sockets[s].banks[bank].block_line(block);
+                            matches!(line, Some(LlcLine::Data { .. }))
+                        };
+                        let fused_no_data = matches!(loc, EntryLoc::Fused);
+                        if has_data {
+                            // Served from the LLC.
+                            let zd_policy = self.zd().map(|z| z.policy);
+                            if zd_policy == Some(SpillPolicy::SpillAll)
+                                && loc == EntryLoc::Spilled
+                            {
+                                // SpillAll reads the entry first (§III-C1).
+                                t += self.cfg.llc_data_cycles;
+                                self.stats.llc_dir_accesses += 1;
+                                self.stats.llc_data_accesses += 1;
+                            }
+                            t = self.bank_port(s, bank, t, self.cfg.llc_data_cycles)
+                                + self.cfg.llc_data_cycles;
+                            self.stats.llc_data_accesses += 1;
+                            t += self.sockets[s]
+                                .topo
+                                .bank_core_latency(bank, core.0 as usize, 72);
+                            self.stats.msg(MsgClass::Data);
+                            self.stats.two_hop_reads += 1;
+                            if loc == EntryLoc::Spilled {
+                                // FPSS: entry updated off the critical path.
+                                self.stats.llc_dir_accesses += 1;
+                                self.stats.llc_data_accesses += 1;
+                            }
+                            let policy = self.policy();
+                            self.sockets[s].banks[bank].touch_block(block, policy);
+                        } else if fused_no_data {
+                            // FuseAll: the line's data bits are corrupted —
+                            // forward to an elected sharer (§III-C3).
+                            t += self.cfg.llc_data_cycles; // read the fused entry
+                            self.stats.llc_dir_accesses += 1;
+                            self.stats.llc_data_accesses += 1;
+                            let sharer = entry.sharers.any().expect("live entry has sharers");
+                            t += self.forward_to_core(s, bank, sharer, core);
+                            self.stats.fused_read_forwards += 1;
+                            self.stats.three_hop_reads += 1;
+                        } else {
+                            // Directory hit, LLC data miss: forward to a
+                            // sharer (baseline behaviour, §III-C2).
+                            if loc == EntryLoc::Spilled {
+                                t += self.cfg.llc_data_cycles;
+                                self.stats.llc_dir_accesses += 1;
+                                self.stats.llc_data_accesses += 1;
+                            }
+                            let sharer = entry.sharers.any().expect("live entry has sharers");
+                            t += self.forward_to_core(s, bank, sharer, core);
+                            self.stats.three_hop_reads += 1;
+                        }
+                        let mut e = entry;
+                        e.sharers.insert(core);
+                        self.update_entry(now, s, block, e, loc, &mut invals);
+                        grant = MesiState::Shared;
+                    }
+                    None => {
+                        grant = self.untracked_read(
+                            now, &mut t, s, core, block, code, &mut invals, &mut downgrades,
+                        );
+                    }
+                }
+            }
+            Op::ReadExclusive => {
+                match found {
+                    Some((entry, loc)) if entry.state.is_owned() => {
+                        let owner = entry.owner().expect("owned entry has an owner");
+                        debug_assert_ne!(owner, core);
+                        if loc != EntryLoc::Dedicated {
+                            t += self.cfg.llc_data_cycles;
+                            self.stats.llc_dir_accesses += 1;
+                            self.stats.llc_data_accesses += 1;
+                        }
+                        // Forward with ownership transfer: the old owner
+                        // sends the block and invalidates itself.
+                        t += self.forward_to_core(s, bank, owner, core);
+                        invals.push(Invalidation {
+                            socket,
+                            core: owner,
+                            block,
+                            reason: InvalReason::Coherence,
+                        });
+                        self.stats.coherence_invalidations += 1;
+                        let new_entry = DirEntry::owned(core);
+                        self.epd_on_private_transition(now, s, block);
+                        let _ = loc;
+                        self.write_entry_anywhere(now, s, block, new_entry, &mut invals);
+                        grant = MesiState::Modified;
+                    }
+                    Some((entry, loc)) => {
+                        // Shared: invalidate all sharers, source the data.
+                        let has_data = {
+                            let line = self.sockets[s].banks[bank].block_line(block);
+                            matches!(line, Some(LlcLine::Data { .. }))
+                        };
+                        if loc != EntryLoc::Dedicated {
+                            t += self.cfg.llc_data_cycles;
+                            self.stats.llc_dir_accesses += 1;
+                            self.stats.llc_data_accesses += 1;
+                        }
+                        let inv_path = self.invalidate_sharers(
+                            s,
+                            bank,
+                            block,
+                            &entry,
+                            Some(core),
+                            InvalReason::Coherence,
+                            &mut invals,
+                        );
+                        let data_path = if has_data {
+                            self.stats.llc_data_accesses += 1;
+                            self.stats.msg(MsgClass::Data);
+                            self.cfg.llc_data_cycles
+                                + self.sockets[s]
+                                    .topo
+                                    .bank_core_latency(bank, core.0 as usize, 72)
+                        } else {
+                            // Forward to one sharer, combined with its
+                            // invalidation (baseline critical path).
+                            let sharer = entry
+                                .sharers
+                                .iter()
+                                .find(|&c| c != core)
+                                .expect("another sharer exists");
+                            self.forward_to_core(s, bank, sharer, core)
+                        };
+                        t += data_path.max(inv_path);
+                        let new_entry = DirEntry::owned(core);
+                        self.epd_on_private_transition(now, s, block);
+                        let _ = loc;
+                        self.write_entry_anywhere(now, s, block, new_entry, &mut invals);
+                        t += self.socket_level_invalidate(now, s, block, &mut invals);
+                        grant = MesiState::Modified;
+                    }
+                    None => {
+                        grant = self.untracked_rfo(
+                            now, &mut t, s, core, block, &mut invals, &mut downgrades,
+                        );
+                    }
+                }
+            }
+        }
+
+        AccessResult {
+            latency: t.since(now),
+            grant,
+            invalidations: invals,
+            downgrades,
+        }
+    }
+
+    /// Re-finds the location of a live entry after LLC churn.
+    fn relocate(&self, s: usize, block: BlockAddr) -> Option<EntryLoc> {
+        self.find_entry(s, block).map(|(_, loc)| loc)
+    }
+
+    /// Latency of forwarding a request from the home bank to `owner`, which
+    /// responds directly to `requester` (three-hop path, §III-A), plus the
+    /// off-critical-path busy-clear to the home.
+    fn forward_to_core(&mut self, s: usize, bank: usize, owner: CoreId, requester: CoreId) -> u64 {
+        self.stats.msg(MsgClass::Forward);
+        self.stats.msg(MsgClass::Data);
+        self.stats.msg(MsgClass::Ack); // busy-clear
+        self.sockets[s].topo.bank_core_latency(bank, owner.0 as usize, 8)
+            + self.cfg.l2_hit_cycles
+            + self.sockets[s]
+                .topo
+                .core_core_latency(owner.0 as usize, requester.0 as usize, 72)
+    }
+
+    /// Sends invalidations to every sharer except `keep`; returns the
+    /// worst-case invalidate→ack critical-path latency (acks are collected
+    /// by the requester).
+    #[allow(clippy::too_many_arguments)] // protocol context is irreducible
+    fn invalidate_sharers(
+        &mut self,
+        s: usize,
+        bank: usize,
+        block: BlockAddr,
+        entry: &DirEntry,
+        keep: Option<CoreId>,
+        reason: InvalReason,
+        invals: &mut Vec<Invalidation>,
+    ) -> u64 {
+        let mut worst = 0;
+        for sharer in entry.sharers.iter() {
+            if Some(sharer) == keep {
+                continue;
+            }
+            self.stats.msg(MsgClass::Invalidation);
+            self.stats.msg(MsgClass::Ack);
+            self.stats.coherence_invalidations += u64::from(reason == InvalReason::Coherence);
+            invals.push(Invalidation {
+                socket: SocketId(s as u8),
+                core: sharer,
+                block,
+                reason,
+            });
+            let path = self.sockets[s]
+                .topo
+                .bank_core_latency(bank, sharer.0 as usize, 8)
+                + match keep {
+                    Some(req) => self.sockets[s]
+                        .topo
+                        .core_core_latency(sharer.0 as usize, req.0 as usize, 8),
+                    None => self.sockets[s]
+                        .topo
+                        .bank_core_latency(bank, sharer.0 as usize, 8),
+                };
+            worst = worst.max(path);
+        }
+        worst
+    }
+
+    /// EPD design: a block that became privately owned (M/E) is deallocated
+    /// from the LLC (§III-E). A fused line converts to a spilled entry (the
+    /// block bits leave; fusion is impossible in an EPD LLC).
+    fn epd_on_private_transition(&mut self, now: Cycle, s: usize, block: BlockAddr) {
+        if self.cfg.llc_design != LlcDesign::Epd {
+            return;
+        }
+        let bank = self.bank_of(block);
+        match self.sockets[s].banks[bank].block_line(block) {
+            Some(LlcLine::Data { .. }) => {
+                // The owner holds the latest data; dirty LLC bits are stale
+                // relative to the owner's copy and can be dropped.
+                let _ = self.sockets[s].banks[bank].remove_block(block);
+            }
+            Some(LlcLine::Fused { .. }) => {
+                let entry = self.sockets[s].banks[bank].unfuse(block);
+                let _ = self.sockets[s].banks[bank].remove_block(block);
+                self.stats.dir_spills += 1;
+                self.stats.llc_data_accesses += 1;
+                let policy = self.policy();
+                let mut invals = Vec::new();
+                match self.sockets[s].banks[bank].spill_entry(block, entry, policy) {
+                    SpillOutcome::Updated => {}
+                    SpillOutcome::Inserted(victim) => {
+                        self.stats.adjust_spilled_lines(1);
+                        if let Some(v) = victim {
+                            self.handle_llc_victim(now, s, v, &mut invals);
+                        }
+                    }
+                }
+                debug_assert!(
+                    invals.is_empty(),
+                    "EPD respill cannot back-invalidate (non-inclusive)"
+                );
+            }
+            _ => {}
+        }
+    }
+
+    // (continued in system_flows.rs: untracked reads/RFOs, the memory and
+    //  multi-socket paths, evictions, and the caller-reported dirty-data
+    //  hooks)
+}
+
+include!("system_flows.rs");

@@ -1,0 +1,901 @@
+// Continuation of the System protocol engine (included from system.rs):
+// untracked reads/RFOs, the memory and multi-socket paths, evictions, and
+// the caller-reported dirty-data hooks.
+
+impl System {
+    /// Read (or code read) of a block with no directory entry in the socket.
+    #[allow(clippy::too_many_arguments)]
+    fn untracked_read(
+        &mut self,
+        now: Cycle,
+        t: &mut Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        code: bool,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> MesiState {
+        let bank = self.bank_of(block);
+        if matches!(
+            self.sockets[s].banks[bank].block_line(block),
+            Some(LlcLine::Data { .. })
+        ) {
+            // Case (iii): LLC hit, no private copies anywhere in the socket
+            // (guaranteed — §III-D2).
+            self.stats.llc_hits += 1;
+            *t = self.bank_port(s, bank, *t, self.cfg.llc_data_cycles) + self.cfg.llc_data_cycles;
+            self.stats.llc_data_accesses += 1;
+            *t += self.sockets[s]
+                .topo
+                .bank_core_latency(bank, core.0 as usize, 72);
+            self.stats.msg(MsgClass::Data);
+            self.stats.two_hop_reads += 1;
+            let policy = self.policy();
+            self.sockets[s].banks[bank].touch_block(block, policy);
+            let grant = if code {
+                MesiState::Shared
+            } else {
+                MesiState::Exclusive
+            };
+            let entry = if code {
+                DirEntry::shared(core)
+            } else {
+                DirEntry::owned(core)
+            };
+            if grant == MesiState::Exclusive {
+                // EPD deallocates first so the new entry cannot fuse
+                // (fusion is impossible in an EPD LLC, §III-E).
+                self.epd_on_private_transition(now, s, block);
+            }
+            self.install_entry(now, s, block, entry, invals);
+            grant
+        } else {
+            self.memory_fetch(now, t, s, core, block, false, code, invals, downgrades)
+        }
+    }
+
+    /// Read-exclusive of a block with no directory entry in the socket.
+    #[allow(clippy::too_many_arguments)]
+    fn untracked_rfo(
+        &mut self,
+        now: Cycle,
+        t: &mut Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> MesiState {
+        let bank = self.bank_of(block);
+        if matches!(
+            self.sockets[s].banks[bank].block_line(block),
+            Some(LlcLine::Data { .. })
+        ) {
+            self.stats.llc_hits += 1;
+            *t = self.bank_port(s, bank, *t, self.cfg.llc_data_cycles) + self.cfg.llc_data_cycles;
+            self.stats.llc_data_accesses += 1;
+            *t += self.sockets[s]
+                .topo
+                .bank_core_latency(bank, core.0 as usize, 72);
+            self.stats.msg(MsgClass::Data);
+            self.epd_on_private_transition(now, s, block);
+            self.install_entry(now, s, block, DirEntry::owned(core), invals);
+            let lat = self.socket_level_invalidate(now, s, block, invals);
+            *t += lat;
+            MesiState::Modified
+        } else {
+            self.memory_fetch(now, t, s, core, block, true, false, invals, downgrades)
+        }
+    }
+
+    /// Case (iv): the block is neither in the LLC nor tracked in the socket
+    /// — fetch through the home memory, handling corrupted blocks and (for
+    /// multi-socket machines) the full Figure 15 flow.
+    #[allow(clippy::too_many_arguments)]
+    fn memory_fetch(
+        &mut self,
+        now: Cycle,
+        t: &mut Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        exclusive: bool,
+        code: bool,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> MesiState {
+        self.stats.llc_misses += 1;
+        let home = self.cfg.home_socket(block);
+        if self.cfg.sockets > 1 {
+            self.stats.socket_misses += 1;
+            return self.socket_miss_flow(
+                now, t, s, core, block, exclusive, code, invals, downgrades,
+            );
+        }
+        // Single socket: home memory is local.
+        let bank = self.bank_of(block);
+        self.stats.msg(MsgClass::MemRead);
+        *t += self.sockets[s].topo.bank_mc_latency(bank, 0, 8);
+        if self.mem.is_corrupted(block) {
+            // The socket's own entry is housed in the home block (§III-D3
+            // step 3, degenerate single-socket form): read the corrupted
+            // block, extract the entry (one extra cycle), then conclude as
+            // a directory hit with the block absent from the LLC.
+            if !exclusive {
+                self.stats.llc_read_misses_corrupted += 1;
+            }
+            self.stats.dram_reads += 1;
+            let tm = self.mem.dram_read(*t, home, block);
+            self.stats.msg(MsgClass::MemReadData);
+            *t = tm + self.sockets[s].topo.bank_mc_latency(bank, 0, 72) + 1;
+            let entry = self
+                .mem
+                .extract_entry(block, SocketId(s as u8))
+                .expect("corrupted single-socket block houses our segment");
+            self.install_entry(now, s, block, entry, invals);
+            self.track_live(-1); // re-installed, not newly live
+            return self.serve_from_private(
+                now, t, s, core, block, entry, exclusive, invals, downgrades,
+            );
+        }
+        self.stats.dram_reads += 1;
+        let tm = self.mem.dram_read(*t, home, block);
+        self.stats.msg(MsgClass::MemReadData);
+        *t = tm + self.sockets[s].topo.bank_mc_latency(bank, 0, 72);
+        *t += self.sockets[s]
+            .topo
+            .bank_core_latency(bank, core.0 as usize, 72);
+        self.stats.msg(MsgClass::Data);
+        self.finish_memory_fill(now, s, core, block, exclusive, code, invals)
+    }
+
+    /// Installs the entry and (per LLC design) the line for a block fetched
+    /// from memory, returning the granted state.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_memory_fill(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        exclusive: bool,
+        code: bool,
+        invals: &mut Vec<Invalidation>,
+    ) -> MesiState {
+        let grant = if exclusive {
+            MesiState::Modified
+        } else if code {
+            MesiState::Shared
+        } else {
+            MesiState::Exclusive
+        };
+        // EPD does not allocate demand fills that land privately (M/E);
+        // shared (code) fills do allocate. Other designs always fill.
+        let fill = self.cfg.llc_design != LlcDesign::Epd || grant == MesiState::Shared;
+        if fill {
+            self.fill_llc(now, s, block, false, invals);
+        }
+        let entry = if grant == MesiState::Shared {
+            DirEntry::shared(core)
+        } else {
+            DirEntry::owned(core)
+        };
+        self.install_entry(now, s, block, entry, invals);
+        grant
+    }
+
+    /// Concludes a request whose directory entry was just recovered but
+    /// whose data is not in the LLC: forward to the owner or a sharer core
+    /// within the socket.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_from_private(
+        &mut self,
+        now: Cycle,
+        t: &mut Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        entry: DirEntry,
+        exclusive: bool,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> MesiState {
+        let bank = self.bank_of(block);
+        let loc = self
+            .relocate(s, block)
+            .expect("entry was just installed");
+        if exclusive {
+            let inv_path = self.invalidate_sharers(
+                s,
+                bank,
+                block,
+                &entry,
+                Some(core),
+                InvalReason::Coherence,
+                invals,
+            );
+            let source = entry
+                .sharers
+                .iter()
+                .find(|&c| c != core)
+                .expect("live entry has another holder");
+            let data_path = self.forward_to_core(s, bank, source, core);
+            *t += data_path.max(inv_path);
+            self.epd_on_private_transition(now, s, block);
+            let _ = loc;
+            self.write_entry_anywhere(now, s, block, DirEntry::owned(core), invals);
+            let lat = self.socket_level_invalidate(now, s, block, invals);
+            *t += lat;
+            MesiState::Modified
+        } else if entry.state.is_owned() {
+            let owner = entry.owner().expect("owned entry has an owner");
+            *t += self.forward_to_core(s, bank, owner, core);
+            self.stats.three_hop_reads += 1;
+            downgrades.push(Downgrade {
+                socket: SocketId(s as u8),
+                core: owner,
+                block,
+            });
+            self.fill_llc(now, s, block, false, invals);
+            let mut e = entry;
+            e.state = DirState::Shared;
+            e.sharers.insert(core);
+            let _ = loc;
+            self.write_entry_anywhere(now, s, block, e, invals);
+            MesiState::Shared
+        } else {
+            let sharer = entry.sharers.any().expect("live entry has sharers");
+            *t += self.forward_to_core(s, bank, sharer, core);
+            self.stats.three_hop_reads += 1;
+            let mut e = entry;
+            e.sharers.insert(core);
+            self.update_entry(now, s, block, e, loc, invals);
+            MesiState::Shared
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Multi-socket coherence (Figure 15)
+    // ---------------------------------------------------------------------
+
+    /// Handles a miss that leaves the socket: the home socket's directory
+    /// decides among the baseline, corrupted-block, and forwarding flows.
+    #[allow(clippy::too_many_arguments)]
+    fn socket_miss_flow(
+        &mut self,
+        now: Cycle,
+        t: &mut Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        exclusive: bool,
+        code: bool,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> MesiState {
+        let home = self.cfg.home_socket(block);
+        let h = home.0 as usize;
+        if h != s {
+            *t += self.cfg.inter_socket_cycles;
+            self.stats.msg(MsgClass::SocketCtrl);
+        }
+        let lookup = self.mem.socket_dir_lookup(home, block);
+        if !lookup.cached && self.mem.miss_needs_memory_read() {
+            // Memory-backed socket directory: the entry read costs a DRAM
+            // access (step 1 of Figure 15 on a directory-cache miss).
+            self.stats.dram_reads += 1;
+            *t = self.mem.dram_read(*t, home, block);
+        }
+        let corrupted = self.mem.is_corrupted(block);
+        match lookup.entry {
+            None => {
+                // Invalid: exclusive grant from home memory (step 2).
+                debug_assert!(!corrupted, "untracked blocks cannot be corrupted");
+                self.stats.dram_reads += 1;
+                let tm = self.mem.dram_read(*t, home, block);
+                *t = tm;
+                if h != s {
+                    *t += self.cfg.inter_socket_cycles;
+                    self.stats.msg(MsgClass::SocketData);
+                }
+                self.stats.msg(MsgClass::Data);
+                let grant = self.finish_memory_fill(now, s, core, block, exclusive, code, invals);
+                let e = SocketDirEntry {
+                    owned: grant != MesiState::Shared,
+                    sharers: SocketSet::only(SocketId(s as u8)),
+                };
+                self.mem.socket_dir_update(home, block, e);
+                grant
+            }
+            Some(e) if corrupted && e.sharers.contains(SocketId(s as u8)) => {
+                // Step 3: requester is a sharer/owner of a corrupted block;
+                // baseline flow with a special (corrupted) response. One
+                // extra cycle to extract the entry.
+                if !exclusive {
+                    self.stats.llc_read_misses_corrupted += 1;
+                }
+                self.stats.dram_reads += 1;
+                let tm = self.mem.dram_read(*t, home, block);
+                *t = tm + 1;
+                if h != s {
+                    *t += self.cfg.inter_socket_cycles;
+                    self.stats.msg(MsgClass::SocketData);
+                }
+                let entry = self
+                    .mem
+                    .extract_entry(block, SocketId(s as u8))
+                    .expect("sharing socket without in-socket entry has a segment");
+                self.install_entry(now, s, block, entry, invals);
+                self.track_live(-1);
+                self.serve_from_private(now, t, s, core, block, entry, exclusive, invals, downgrades)
+            }
+            Some(e) => {
+                // Forward to a sharer or the owner socket (steps 2/4).
+                let f_socket = e
+                    .owner()
+                    .or_else(|| e.sharers.iter().find(|&x| x != SocketId(s as u8)))
+                    .expect("tracked block has a holder");
+                if !corrupted && !e.owned && !exclusive {
+                    // Socket-Shared, clean memory: serve from home DRAM.
+                    self.stats.dram_reads += 1;
+                    let tm = self.mem.dram_read(*t, home, block);
+                    *t = tm;
+                    if h != s {
+                        *t += self.cfg.inter_socket_cycles;
+                        self.stats.msg(MsgClass::SocketData);
+                    }
+                    self.stats.msg(MsgClass::Data);
+                    let grant =
+                        self.finish_memory_fill(now, s, core, block, false, code, invals);
+                    let mut se = e;
+                    se.owned = false;
+                    se.sharers.insert(SocketId(s as u8));
+                    self.mem.socket_dir_update(home, block, se);
+                    return grant;
+                }
+                // Need data from socket F (owner, or corrupted sharer).
+                debug_assert_ne!(f_socket, SocketId(s as u8), "requester lost in socket dir");
+                *t += self.cfg.inter_socket_cycles; // H → F forward
+                self.stats.msg(MsgClass::SocketCtrl);
+                *t += self.remote_retrieve(now, s, h, f_socket, block, exclusive, invals, downgrades);
+                *t += self.cfg.inter_socket_cycles; // F → S data
+                self.stats.msg(MsgClass::SocketData);
+                if exclusive {
+                    // Invalidate every other sharer socket.
+                    for other in e.sharers.iter() {
+                        if other == SocketId(s as u8) || other == f_socket {
+                            continue;
+                        }
+                        self.stats.msg(MsgClass::SocketCtrl);
+                        self.invalidate_socket_copies(now, other.0 as usize, block, invals);
+                    }
+                    self.mem
+                        .socket_dir_update(home, block, SocketDirEntry::owned_by(SocketId(s as u8)));
+                    let entry = DirEntry::owned(core);
+                    self.epd_on_private_transition(now, s, block);
+                    self.install_entry(now, s, block, entry, invals);
+                    MesiState::Modified
+                } else {
+                    let mut se = e;
+                    se.owned = false;
+                    se.sharers.insert(SocketId(s as u8));
+                    self.mem.socket_dir_update(home, block, se);
+                    // Another socket holds the block too: S either way.
+                    let _ = code;
+                    let grant = MesiState::Shared;
+                    let fill = self.cfg.llc_design != LlcDesign::Epd || grant == MesiState::Shared;
+                    if fill {
+                        self.fill_llc(now, s, block, false, invals);
+                    }
+                    let entry = DirEntry::shared(core);
+                    self.install_entry(now, s, block, entry, invals);
+                    grant
+                }
+            }
+        }
+    }
+
+    /// Retrieves the block from socket `f` on behalf of requester socket
+    /// `s` (steps 5–11 of Figure 15). Returns the latency spent inside (and
+    /// re-reaching) socket `f`, including any DENF_NACK round trip.
+    #[allow(clippy::too_many_arguments)]
+    fn remote_retrieve(
+        &mut self,
+        now: Cycle,
+        _s: usize,
+        h: usize,
+        f_socket: SocketId,
+        block: BlockAddr,
+        exclusive: bool,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> u64 {
+        let f = f_socket.0 as usize;
+        let bank = self.bank_of(block);
+        let mut lat = self.cfg.llc_tag_cycles; // F looks up LLC + directory
+        self.stats.llc_tag_lookups += 1;
+        self.stats.dir_lookups += 1;
+
+        let mut entry_opt = self.find_entry(f, block);
+        if entry_opt.is_none() {
+            if self.sockets[f].banks[bank].block_line(block).is_some() {
+                // F serves from its LLC (socket-level owner with an
+                // LLC-only copy after its cores evicted).
+                lat += self.cfg.llc_data_cycles;
+                self.stats.llc_data_accesses += 1;
+                if exclusive {
+                    self.invalidate_socket_copies(now, f, block, invals);
+                } else {
+                    self.remote_downgrade_writeback(now, f, block);
+                }
+                return lat;
+            }
+            // Step 7: F has copies but its entry went home — DENF_NACK.
+            self.stats.denf_nacks += 1;
+            self.stats.msg(MsgClass::DenfNack);
+            lat += self.cfg.inter_socket_cycles; // F → H nack
+            let seg = self.mem.extract_entry(block, f_socket);
+            match seg {
+                Some(entry) => {
+                    // Steps 8–11: H reads the corrupted block, extracts F's
+                    // entry, and resends the request with it.
+                    self.stats.dram_reads += 1;
+                    let _ = self
+                        .mem
+                        .dram_read(Cycle(now.0 + lat), SocketId(h as u8), block);
+                    self.stats.msg(MsgClass::SocketData); // resend with entry
+                    lat += self.cfg.inter_socket_cycles;
+                    self.install_entry(now, f, block, entry, invals);
+                    self.track_live(-1);
+                    entry_opt = Some((entry, EntryLoc::Dedicated)).map(|_| {
+                        self.find_entry(f, block).expect("entry just installed")
+                    });
+                }
+                None => {
+                    // Synchronous model keeps the socket directory exact, so
+                    // a forward without entry, line, or segment cannot
+                    // happen; fall back to home memory defensively.
+                    debug_assert!(false, "forwarded socket has no trace of {block:?}");
+                    return lat;
+                }
+            }
+        }
+
+        let (entry, _loc) = entry_opt.expect("entry present or recovered");
+        // Conclude within F (step 6): pull the block from an owner/sharer
+        // core of F.
+        let source = entry.sharers.any().expect("live entry has holders");
+        lat += self.sockets[f]
+            .topo
+            .bank_core_latency(bank, source.0 as usize, 8)
+            + self.cfg.l2_hit_cycles;
+        self.stats.msg(MsgClass::Forward);
+        self.stats.msg(MsgClass::Data);
+        if exclusive {
+            self.invalidate_socket_copies(now, f, block, invals);
+        } else {
+            // Downgrade F's owner (if any) and write dirty data back to
+            // home so that socket-Shared implies clean memory.
+            if entry.state.is_owned() {
+                downgrades.push(Downgrade {
+                    socket: f_socket,
+                    core: source,
+                    block,
+                });
+                let mut e = entry;
+                e.state = DirState::Shared;
+                let loc = self.relocate(f, block).expect("entry present");
+                self.update_entry(now, f, block, e, loc, invals);
+                self.remote_downgrade_writeback(now, f, block);
+            }
+        }
+        lat
+    }
+
+    /// On an inter-socket downgrade the owning socket writes the block back
+    /// to home memory so that a socket-Shared block always has clean memory
+    /// (conservative: charged whether or not the owner was dirty; the E
+    /// case would only have sent an acknowledgement).
+    fn remote_downgrade_writeback(&mut self, now: Cycle, f: usize, block: BlockAddr) {
+        self.stats.msg(MsgClass::SocketData);
+        // Restores a corrupted home block if needed (pulling F's own housed
+        // segment back in first).
+        self.writeback_to_memory(now, f, block);
+        // F's LLC copy (if any) is now clean.
+        let bank = self.bank_of(block);
+        if let Some(LlcLine::Data { dirty: true }) = self.sockets[f].banks[bank].block_line(block)
+        {
+            let _ = self.sockets[f].banks[bank].remove_block(block);
+            let policy = self.policy();
+            let _ = self.sockets[f].banks[bank].fill_data(block, false, policy);
+        }
+    }
+
+    /// Invalidates every trace of `block` in socket `f` (a remote write is
+    /// claiming exclusivity). Private copies go to the caller's
+    /// invalidation list; the LLC line and any housed segment are dropped.
+    fn invalidate_socket_copies(
+        &mut self,
+        _now: Cycle,
+        f: usize,
+        block: BlockAddr,
+        invals: &mut Vec<Invalidation>,
+    ) {
+        if let Some((entry, loc)) = self.find_entry(f, block) {
+            let n = entry.sharers.count() as u64;
+            self.stats.coherence_invalidations += n;
+            self.stats.msg_n(MsgClass::Invalidation, n);
+            self.stats.msg_n(MsgClass::Ack, n);
+            for core in entry.sharers.iter() {
+                invals.push(Invalidation {
+                    socket: SocketId(f as u8),
+                    core,
+                    block,
+                    reason: InvalReason::Coherence,
+                });
+            }
+            self.free_entry(f, block, loc, false);
+        }
+        if self.mem.extract_entry(block, SocketId(f as u8)).is_some() {
+            self.track_live(-1);
+        }
+        let bank = self.bank_of(block);
+        let _ = self.sockets[f].banks[bank].remove_block(block);
+    }
+
+    /// On an upgrade/RFO that concluded within socket `s`, other sockets
+    /// may still share the block: invalidate them through the home socket.
+    /// Returns the added critical-path latency.
+    fn socket_level_invalidate(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        block: BlockAddr,
+        invals: &mut Vec<Invalidation>,
+    ) -> u64 {
+        if self.cfg.sockets == 1 {
+            return 0;
+        }
+        let home = self.cfg.home_socket(block);
+        let lookup = self.mem.socket_dir_lookup(home, block);
+        let Some(e) = lookup.entry else {
+            return 0;
+        };
+        let me = SocketId(s as u8);
+        let others: Vec<SocketId> = e.sharers.iter().filter(|&x| x != me).collect();
+        if others.is_empty() {
+            if e.owner() != Some(me) {
+                self.mem
+                    .socket_dir_update(home, block, SocketDirEntry::owned_by(me));
+            }
+            return 0;
+        }
+        let mut lat = if home.0 as usize == s {
+            0
+        } else {
+            self.cfg.inter_socket_cycles
+        };
+        self.stats.msg(MsgClass::SocketCtrl);
+        for other in others {
+            self.stats.msg(MsgClass::SocketCtrl); // invalidation
+            self.stats.msg(MsgClass::SocketCtrl); // acknowledgement
+            self.invalidate_socket_copies(now, other.0 as usize, block, invals);
+        }
+        lat += 2 * self.cfg.inter_socket_cycles; // worst-case inv + ack
+        self.mem
+            .socket_dir_update(home, block, SocketDirEntry::owned_by(me));
+        lat
+    }
+
+    // ---------------------------------------------------------------------
+    // Private-cache evictions (Figure 16)
+    // ---------------------------------------------------------------------
+
+    /// Notifies the uncore that `core` evicted its copy of `block`.
+    /// Evictions are off the critical path, so no latency is returned; any
+    /// back-invalidations produced by LLC churn are returned for the caller
+    /// to apply.
+    pub fn evict(
+        &mut self,
+        now: Cycle,
+        socket: SocketId,
+        core: CoreId,
+        block: BlockAddr,
+        kind: EvictKind,
+    ) -> Vec<Invalidation> {
+        let s = socket.0 as usize;
+        let bank = self.bank_of(block);
+        let mut invals = Vec::new();
+        let t = now
+            + self.sockets[s].topo.core_bank_latency(
+                core.0 as usize,
+                bank,
+                if kind == EvictKind::Dirty { 72 } else { 8 },
+            );
+        let _ = self.bank_port(s, bank, t, self.cfg.llc_tag_cycles);
+        self.stats.llc_tag_lookups += 1;
+        self.stats.dir_lookups += 1;
+
+        match self.find_entry(s, block) {
+            Some((entry, _)) if !entry.sharers.contains(core) => {
+                // Stale notice: the line was concurrently invalidated (e.g.
+                // a DEV raced this eviction) and the entry re-allocated by
+                // other cores. Real protocols NACK this; drop it.
+            }
+            Some((entry, loc)) => {
+                // EPD moves every owner-evicted block into the LLC (the
+                // victim transfer carries data even when clean, §III-E).
+                let epd_victim_transfer = self.cfg.llc_design == LlcDesign::Epd
+                    && kind == EvictKind::CleanExclusive;
+                match kind {
+                    EvictKind::Dirty => self.stats.msg(MsgClass::Writeback),
+                    EvictKind::CleanExclusive if epd_victim_transfer => {
+                        self.stats.msg(MsgClass::Writeback);
+                    }
+                    EvictKind::CleanExclusive if loc == EntryLoc::Fused => {
+                        // Carries the low reconstruction bits (§III-C2).
+                        self.stats.msg(MsgClass::EvictNoticeBits);
+                    }
+                    _ => self.stats.msg(MsgClass::EvictNotice),
+                }
+                if kind == EvictKind::Dirty {
+                    // The writeback allocates/updates the LLC line (this is
+                    // also EPD's allocation-on-owner-eviction rule).
+                    self.fill_llc(now, s, block, true, &mut invals);
+                } else if epd_victim_transfer {
+                    self.fill_llc(now, s, block, false, &mut invals);
+                }
+                let mut e = entry;
+                e.sharers.remove(core);
+                match self.relocate(s, block) {
+                    Some(cur_loc) => {
+                        if e.is_dead() {
+                            // FuseAll's last S sharer did not carry the bits
+                            // in its notice; the home retrieves them with a
+                            // special acknowledgement.
+                            let retrieval =
+                                loc == EntryLoc::Fused && kind == EvictKind::CleanShared;
+                            self.free_entry(s, block, cur_loc, retrieval);
+                            if self.sockets[s].banks[bank].block_line(block).is_none() {
+                                // The evicting core held the last in-socket
+                                // copy; if home memory is corrupted it must
+                                // be restored from this copy.
+                                self.restore_if_last_copy(now, s, block);
+                            }
+                            self.departure_check(now, s, block);
+                        } else {
+                            self.update_entry(now, s, block, e, cur_loc, &mut invals);
+                        }
+                    }
+                    None => {
+                        // The dirty-writeback fill above pushed this block's
+                        // own entry home (WB_DE); conclude via Figure 16.
+                        self.evict_with_entry_at_home(now, s, core, block, kind, &mut invals);
+                    }
+                }
+            }
+            None => {
+                // ZeroDEV: the entry lives in home memory (corrupted block).
+                self.evict_with_entry_at_home(now, s, core, block, kind, &mut invals);
+            }
+        }
+        invals
+    }
+
+    /// Figure 16: the eviction could not find the sparse directory entry
+    /// within the socket.
+    fn evict_with_entry_at_home(
+        &mut self,
+        now: Cycle,
+        s: usize,
+        core: CoreId,
+        block: BlockAddr,
+        kind: EvictKind,
+        _invals: &mut Vec<Invalidation>,
+    ) {
+        let home = self.cfg.home_socket(block);
+        let me = SocketId(s as u8);
+        if kind == EvictKind::Dirty {
+            // Step 2: a full-block writeback means the evictor was the
+            // system-wide owner; forward to home as a normal writeback.
+            self.stats.msg(MsgClass::Writeback);
+            debug_assert!(
+                self.mem
+                    .corrupted_block(block)
+                    .is_none_or(|cb| cb.sockets().count() <= 1),
+                "sole owner implies at most our own segment"
+            );
+            let _ = self.mem.extract_entry(block, me);
+            self.track_live(-1);
+            self.mem.restore(block);
+            self.stats.msg(MsgClass::MemWrite);
+            if home != me {
+                self.stats.msg(MsgClass::SocketData);
+            }
+            self.mem.dram_write(now, home, block);
+            self.stats.dram_writes += 1;
+            self.departure_check(now, s, block);
+            return;
+        }
+        // Steps 3–6: GET_DE — read the corrupted block from home, extract
+        // our entry, update it, and write it back (or conclude the block).
+        self.stats.get_de_requests += 1;
+        self.stats.msg(MsgClass::GetDirEntry);
+        if home != me {
+            self.stats.msg(MsgClass::SocketCtrl);
+        }
+        self.stats.dram_reads += 1;
+        let tr = self.mem.dram_read(now, home, block);
+        self.stats.msg(MsgClass::MemReadData);
+        let Some(entry) = self.mem.peek_entry(block, me) else {
+            // Stale notice: the line was invalidated concurrently and no
+            // entry survives anywhere. Drop it.
+            return;
+        };
+        if !entry.sharers.contains(core) {
+            return; // stale notice raced an invalidation
+        }
+        let mut e = entry;
+        e.sharers.remove(core);
+        if e.is_dead() {
+            let _ = self.mem.extract_entry(block, me);
+            self.track_live(-1);
+            let bank = self.bank_of(block);
+            let llc_has = self.sockets[s].banks[bank].block_line(block).is_some();
+            // Is this the system-wide last copy?
+            let lookup = self.mem.socket_dir_lookup(home, block);
+            let sys_last = lookup
+                .entry
+                .is_none_or(|se| se.sharers.count() == 1 && se.sharers.contains(me));
+            if !llc_has && sys_last {
+                // Retrieve the block from the evicting core to overwrite
+                // the corrupted memory block (§III-D4, last paragraph).
+                self.stats.msg(MsgClass::Writeback);
+                if home != me {
+                    self.stats.msg(MsgClass::SocketData);
+                }
+                self.mem.restore(block);
+                self.mem.dram_write(tr, home, block);
+                self.stats.dram_writes += 1;
+            }
+            self.departure_check(now, s, block);
+        } else {
+            // Step 6: send the updated entry back for writing.
+            self.mem.rewrite_entry(block, me, e);
+            self.mem.dram_write(tr, home, block);
+            self.stats.dram_writes += 1;
+        }
+    }
+
+    // ---------------------------------------------------------------------
+    // Caller-reported dirty data
+    // ---------------------------------------------------------------------
+
+    /// The owner downgraded by a read held the block in M: its sharing
+    /// writeback carries the dirty data to the home LLC (and, on
+    /// multi-socket machines, home memory).
+    pub fn sharing_writeback(&mut self, now: Cycle, socket: SocketId, block: BlockAddr) {
+        let s = socket.0 as usize;
+        self.stats.msg(MsgClass::Writeback);
+        let bank = self.bank_of(block);
+        if let Some(line) = self.sockets[s].banks[bank].block_line(block) {
+            match line {
+                LlcLine::Data { .. } => {
+                    let policy = self.policy();
+                    let _ = self.sockets[s].banks[bank].fill_data(block, true, policy);
+                }
+                LlcLine::Fused { .. } => {
+                    // Keep the fused entry; remember the dirty block bits.
+                    let entry = self.sockets[s].banks[bank].unfuse(block);
+                    let policy = self.policy();
+                    let _ = self.sockets[s].banks[bank].fill_data(block, true, policy);
+                    self.sockets[s].banks[bank].fuse_entry(block, entry);
+                }
+                LlcLine::Spilled { .. } => unreachable!("block_line excludes spilled"),
+            }
+        }
+        if self.cfg.sockets > 1 {
+            self.writeback_to_memory(now, s, block);
+        }
+    }
+
+    /// A DEV-invalidated owner held the block in M: the dirty block is
+    /// retrieved into the LLC (the paper's observation explaining
+    /// freqmine's behaviour, §I-A1). Returns back-invalidations caused by
+    /// the fill.
+    pub fn dev_dirty_recall(&mut self, now: Cycle, socket: SocketId, block: BlockAddr) -> Vec<Invalidation> {
+        let s = socket.0 as usize;
+        self.stats.dev_dirty_recalls += 1;
+        self.stats.msg(MsgClass::Writeback);
+        let mut invals = Vec::new();
+        self.fill_llc(now, s, block, true, &mut invals);
+        invals
+    }
+
+    /// An inclusion-invalidated owner held the block in M: the dirty data
+    /// goes to home memory (its LLC line is being evicted).
+    pub fn inclusion_dirty_writeback(&mut self, now: Cycle, socket: SocketId, block: BlockAddr) {
+        let s = socket.0 as usize;
+        self.stats.msg(MsgClass::Writeback);
+        self.writeback_to_memory(now, s, block);
+    }
+
+    // ---------------------------------------------------------------------
+    // Diagnostics
+    // ---------------------------------------------------------------------
+
+    /// Total LLC lines currently occupied by spilled directory entries
+    /// across one socket (Figure 5 / §III-B occupancy measurements).
+    pub fn spilled_lines(&self, socket: SocketId) -> usize {
+        self.sockets[socket.0 as usize]
+            .banks
+            .iter()
+            .map(LlcBank::spilled_line_count)
+            .sum()
+    }
+
+    /// The directory entry currently tracking `block` in `socket`, wherever
+    /// it lives (tests and invariant checks).
+    pub fn entry_of(&self, socket: SocketId, block: BlockAddr) -> Option<DirEntry> {
+        self.find_entry(socket.0 as usize, block).map(|(e, _)| e)
+    }
+
+    /// The LLC line for `block` in `socket` (tests and invariant checks).
+    pub fn llc_line_of(&self, socket: SocketId, block: BlockAddr) -> Option<LlcLine> {
+        self.sockets[socket.0 as usize].banks[self.bank_of(block)].block_line(block)
+    }
+
+    /// True when the home-memory copy of `block` is corrupted.
+    pub fn memory_corrupted(&self, block: BlockAddr) -> bool {
+        self.mem.is_corrupted(block)
+    }
+
+    /// Walks every socket and checks structural protocol invariants:
+    /// FPSS's fused⇒M/E and spilled⇒S (§III-C2), single-owner consistency,
+    /// and that corrupted memory blocks are still reachable. Panics on
+    /// violation (used by tests and the property harness).
+    pub fn check_invariants(&self) {
+        let fpss = self.zd().map(|z| z.policy) == Some(SpillPolicy::FusePrivateSpillShared);
+        for (si, socket) in self.sockets.iter().enumerate() {
+            for bank in &socket.banks {
+                for (block, line) in bank.iter() {
+                    match line {
+                        LlcLine::Fused { entry, .. } => {
+                            assert!(!entry.is_dead(), "live fused entry at {block:?}");
+                            if fpss {
+                                assert!(
+                                    entry.state.is_owned(),
+                                    "FPSS invariant: fused ⇒ M/E at {block:?}"
+                                );
+                            }
+                            assert!(
+                                socket.dir.peek(block).is_none(),
+                                "entry duplicated in dedicated dir at {block:?}"
+                            );
+                        }
+                        LlcLine::Spilled { entry } => {
+                            assert!(!entry.is_dead(), "live spilled entry at {block:?}");
+                            if fpss {
+                                // A spilled M/E entry is only legal when the
+                                // block is absent from the LLC.
+                                if entry.state.is_owned() {
+                                    assert!(
+                                        bank.block_line(block).is_none(),
+                                        "FPSS invariant: spilled M/E with resident block at {block:?}"
+                                    );
+                                }
+                            }
+                            assert!(
+                                socket.dir.peek(block).is_none(),
+                                "entry duplicated in dedicated dir at {block:?}"
+                            );
+                        }
+                        LlcLine::Data { .. } => {}
+                    }
+                }
+            }
+            let _ = si;
+        }
+    }
+}

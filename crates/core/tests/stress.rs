@@ -1,0 +1,350 @@
+//! Randomised protocol stress: thousands of random reads/writes/evictions
+//! on a tiny machine, cross-checking the directory view against a model of
+//! the private caches after every operation. Shakes out entry-loss and
+//! tracking bugs that directed tests miss.
+
+use std::collections::HashMap;
+use zerodev_common::config::{
+    CacheGeometry, DirectoryKind, LlcDesign, LlcReplacement, Ratio, SpillPolicy, SystemConfig,
+    ZeroDevConfig,
+};
+use zerodev_common::{BlockAddr, CoreId, Cycle, MesiState, Prng, SocketId};
+use zerodev_core::{system::Downgrade, EvictKind, InvalReason, Invalidation, Op, System};
+
+struct Model {
+    sys: System,
+    lines: HashMap<(u8, u16, u64), MesiState>,
+}
+
+impl Model {
+    fn new(cfg: SystemConfig) -> Self {
+        Model {
+            sys: System::new(cfg).expect("valid"),
+            lines: HashMap::new(),
+        }
+    }
+
+    fn state(&self, s: u8, c: u16, b: BlockAddr) -> MesiState {
+        self.lines
+            .get(&(s, c, b.0))
+            .copied()
+            .unwrap_or(MesiState::Invalid)
+    }
+
+    fn set(&mut self, s: u8, c: u16, b: BlockAddr, st: MesiState) {
+        if st == MesiState::Invalid {
+            self.lines.remove(&(s, c, b.0));
+        } else {
+            self.lines.insert((s, c, b.0), st);
+        }
+    }
+
+    fn apply(&mut self, invals: Vec<Invalidation>, downs: Vec<Downgrade>) {
+        for d in downs {
+            let st = self.state(d.socket.0, d.core.0, d.block);
+            assert!(st.is_owned(), "downgrade of {st} line at {:?}", d.block);
+            if st == MesiState::Modified {
+                self.sys.sharing_writeback(Cycle(0), d.socket, d.block);
+            }
+            self.set(d.socket.0, d.core.0, d.block, MesiState::Shared);
+        }
+        let mut pending = invals;
+        while let Some(inv) = pending.pop() {
+            let st = self.state(inv.socket.0, inv.core.0, inv.block);
+            if st == MesiState::Modified {
+                match inv.reason {
+                    InvalReason::Dev => {
+                        pending.extend(self.sys.dev_dirty_recall(Cycle(0), inv.socket, inv.block));
+                    }
+                    InvalReason::Inclusion => {
+                        self.sys
+                            .inclusion_dirty_writeback(Cycle(0), inv.socket, inv.block);
+                    }
+                    InvalReason::Coherence => {}
+                }
+            }
+            self.set(inv.socket.0, inv.core.0, inv.block, MesiState::Invalid);
+        }
+    }
+
+    fn check_block(&self, b: BlockAddr) {
+        for s in 0..self.sys.config().sockets as u8 {
+            let mut holders = Vec::new();
+            for c in 0..self.sys.config().cores as u16 {
+                let st = self.state(s, c, b);
+                if st.is_valid() {
+                    holders.push((c, st));
+                }
+            }
+            let owners = holders.iter().filter(|(_, st)| st.is_owned()).count();
+            assert!(owners <= 1, "SWMR violated at {b:?}: {holders:?}");
+            if owners == 1 {
+                assert_eq!(holders.len(), 1, "owner+sharers at {b:?}: {holders:?}");
+            }
+            if holders.is_empty() {
+                continue;
+            }
+            let entry = self.sys.entry_of(SocketId(s), b);
+            assert!(
+                entry.is_some() || self.sys.memory_corrupted(b),
+                "socket {s}: untracked private copies of {b:?}: {holders:?}"
+            );
+            if let Some(e) = entry {
+                for (c, _) in &holders {
+                    assert!(
+                        e.sharers.contains(CoreId(*c)),
+                        "socket {s}: directory lost sharer c{c} of {b:?} (entry {e:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, rng: &mut Prng, blocks: &[BlockAddr]) {
+        let s = (rng.below(self.sys.config().sockets as u64)) as u8;
+        let c = (rng.below(self.sys.config().cores as u64)) as u16;
+        let b = blocks[rng.below(blocks.len() as u64) as usize];
+        let st = self.state(s, c, b);
+        match rng.below(10) {
+            // Evict (if present)
+            0..=1 if st.is_valid() => {
+                let kind = match st {
+                    MesiState::Modified => EvictKind::Dirty,
+                    MesiState::Exclusive => EvictKind::CleanExclusive,
+                    MesiState::Shared => EvictKind::CleanShared,
+                    MesiState::Invalid => unreachable!(),
+                };
+                let invals = self
+                    .sys
+                    .evict(Cycle(0), SocketId(s), CoreId(c), b, kind);
+                self.set(s, c, b, MesiState::Invalid);
+                self.apply(invals, Vec::new());
+            }
+            // Write
+            2..=4 => match st {
+                MesiState::Modified => {}
+                MesiState::Exclusive => self.set(s, c, b, MesiState::Modified),
+                MesiState::Shared => {
+                    let r = self.sys.access(Cycle(0), SocketId(s), CoreId(c), b, Op::Upgrade);
+                    self.apply(r.invalidations, r.downgrades);
+                    self.set(s, c, b, MesiState::Modified);
+                }
+                MesiState::Invalid => {
+                    let r = self
+                        .sys
+                        .access(Cycle(0), SocketId(s), CoreId(c), b, Op::ReadExclusive);
+                    let grant = r.grant;
+                    self.apply(r.invalidations, r.downgrades);
+                    self.set(s, c, b, grant);
+                }
+            },
+            // Read (and occasionally code read)
+            _ => {
+                if st.is_valid() {
+                    return;
+                }
+                let op = if rng.chance(0.1) { Op::CodeRead } else { Op::Read };
+                let r = self.sys.access(Cycle(0), SocketId(s), CoreId(c), b, op);
+                let grant = r.grant;
+                self.apply(r.invalidations, r.downgrades);
+                self.set(s, c, b, grant);
+            }
+        }
+        self.sys.check_invariants();
+        self.check_block(b);
+    }
+}
+
+fn tiny(policy: Option<SpillPolicy>, design: LlcDesign, dir: Option<DirectoryKind>) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline_8core();
+    cfg.cores = 4;
+    cfg.l1i = CacheGeometry::new(2 << 10, 2);
+    cfg.l1d = CacheGeometry::new(2 << 10, 2);
+    cfg.l2 = CacheGeometry::new(4 << 10, 4);
+    cfg.llc = CacheGeometry::new(8 << 10, 4); // 128 lines: heavy pressure
+    cfg.llc_banks = 2;
+    cfg.llc_design = design;
+    if let Some(p) = policy {
+        cfg = cfg.with_zerodev(
+            ZeroDevConfig {
+                policy: p,
+                llc_replacement: LlcReplacement::DataLru,
+                ..Default::default()
+            },
+            dir.unwrap_or(DirectoryKind::None),
+        );
+    } else if let Some(d) = dir {
+        cfg.directory = d;
+    }
+    cfg
+}
+
+fn stress(cfg: SystemConfig, steps: u64, seed: u64) {
+    let mut rng = Prng::seeded(seed);
+    // A small pool of blocks that heavily conflicts in the tiny LLC.
+    let blocks: Vec<BlockAddr> = (0..96u64).map(|i| BlockAddr(0x1000 + i * 3)).collect();
+    let mut m = Model::new(cfg);
+    for _ in 0..steps {
+        m.step(&mut rng, &blocks);
+    }
+}
+
+#[test]
+fn stress_baseline() {
+    stress(tiny(None, LlcDesign::NonInclusive, None), 6000, 1);
+}
+
+#[test]
+fn stress_baseline_tiny_dir() {
+    stress(
+        tiny(
+            None,
+            LlcDesign::NonInclusive,
+            Some(DirectoryKind::Sparse {
+                ratio: Ratio::new(1, 64),
+                ways: 2,
+                replacement_disabled: false,
+            }),
+        ),
+        6000,
+        2,
+    );
+}
+
+#[test]
+fn stress_zerodev_fpss() {
+    stress(
+        tiny(
+            Some(SpillPolicy::FusePrivateSpillShared),
+            LlcDesign::NonInclusive,
+            None,
+        ),
+        8000,
+        3,
+    );
+}
+
+#[test]
+fn stress_zerodev_spillall() {
+    stress(tiny(Some(SpillPolicy::SpillAll), LlcDesign::NonInclusive, None), 8000, 4);
+}
+
+#[test]
+fn stress_zerodev_fuseall() {
+    stress(tiny(Some(SpillPolicy::FuseAll), LlcDesign::NonInclusive, None), 8000, 5);
+}
+
+#[test]
+fn stress_zerodev_epd() {
+    stress(
+        tiny(
+            Some(SpillPolicy::FusePrivateSpillShared),
+            LlcDesign::Epd,
+            Some(DirectoryKind::Sparse {
+                ratio: Ratio::new(1, 8),
+                ways: 4,
+                replacement_disabled: true,
+            }),
+        ),
+        8000,
+        6,
+    );
+}
+
+#[test]
+fn stress_zerodev_inclusive() {
+    stress(
+        tiny(
+            Some(SpillPolicy::FusePrivateSpillShared),
+            LlcDesign::Inclusive,
+            None,
+        ),
+        8000,
+        7,
+    );
+}
+
+#[test]
+fn stress_secdir() {
+    let geom = zerodev_common::config::SecDirGeometry {
+        shared_sets: 2,
+        shared_ways: 2,
+        private_sets: 1,
+        private_ways: 2,
+    };
+    stress(
+        tiny(None, LlcDesign::NonInclusive, Some(DirectoryKind::SecDir(geom))),
+        6000,
+        8,
+    );
+}
+
+#[test]
+fn stress_mgd() {
+    stress(
+        tiny(
+            None,
+            LlcDesign::NonInclusive,
+            Some(DirectoryKind::MultiGrain {
+                ratio: Ratio::new(1, 16),
+                ways: 2,
+            }),
+        ),
+        6000,
+        9,
+    );
+}
+
+#[test]
+fn stress_multisocket_zerodev() {
+    let mut cfg = tiny(
+        Some(SpillPolicy::FusePrivateSpillShared),
+        LlcDesign::NonInclusive,
+        None,
+    );
+    cfg.sockets = 2;
+    stress(cfg, 8000, 10);
+}
+
+#[test]
+fn stress_multisocket_baseline() {
+    let mut cfg = tiny(None, LlcDesign::NonInclusive, None);
+    cfg.sockets = 4;
+    stress(cfg, 6000, 11);
+}
+
+#[test]
+fn stress_zerodev_hybrid_segments() {
+    // The limited-pointer/coarse-vector segment format decodes to sharer
+    // supersets; the protocol must stay coherent (spurious invalidations
+    // are harmless).
+    let mut cfg = tiny(
+        Some(SpillPolicy::FusePrivateSpillShared),
+        LlcDesign::NonInclusive,
+        None,
+    );
+    if let Some(zd) = cfg.zerodev.as_mut() {
+        zd.segment_format = zerodev_common::config::SegmentFormat::Hybrid {
+            max_pointers: 1,
+            coarse_bits: 2,
+        };
+    }
+    stress(cfg, 8000, 12);
+}
+
+#[test]
+fn stress_zerodev_hybrid_segments_multisocket() {
+    let mut cfg = tiny(
+        Some(SpillPolicy::FusePrivateSpillShared),
+        LlcDesign::NonInclusive,
+        None,
+    );
+    cfg.sockets = 2;
+    if let Some(zd) = cfg.zerodev.as_mut() {
+        zd.segment_format = zerodev_common::config::SegmentFormat::Hybrid {
+            max_pointers: 2,
+            coarse_bits: 2,
+        };
+    }
+    stress(cfg, 8000, 13);
+}

@@ -1,0 +1,263 @@
+//! DDR3-style main-memory timing model (the DRAMSim2 stand-in).
+//!
+//! Models what the evaluation actually depends on: row-buffer hits versus
+//! misses versus conflicts, per-bank occupancy, and per-channel data-bus
+//! bandwidth. Timing parameters come from
+//! [`zerodev_common::config::DramConfig`] (DDR3-2133, 14-14-14-35, 1 KB rows,
+//! BL=8) and are converted to 4 GHz core cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use zerodev_dram::DramModel;
+//! use zerodev_common::{BlockAddr, Cycle, config::DramConfig};
+//!
+//! let mut dram = DramModel::new(DramConfig::default());
+//! let first = dram.read(Cycle(0), BlockAddr(0));
+//! let second = dram.read(first, BlockAddr(2)); // same open row: faster
+//! assert!(second.since(first) < first.since(Cycle(0)));
+//! ```
+
+use zerodev_common::config::DramConfig;
+use zerodev_common::{BlockAddr, Cycle};
+
+#[derive(Clone, Debug, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: Cycle,
+}
+
+#[derive(Clone, Debug)]
+struct Channel {
+    banks: Vec<Bank>,
+    bus_free: Cycle,
+}
+
+/// The memory system of one socket: independent single-channel controllers,
+/// each with `ranks × banks` banks and an open-page row-buffer policy.
+#[derive(Clone, Debug)]
+pub struct DramModel {
+    cfg: DramConfig,
+    channels: Vec<Channel>,
+    row_hits: u64,
+    row_empty: u64,
+    row_conflicts: u64,
+    reads: u64,
+    writes: u64,
+}
+
+/// Where a block lands in the DRAM system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DramCoords {
+    /// Channel index.
+    pub channel: usize,
+    /// Bank index within the channel (rank-major).
+    pub bank: usize,
+    /// Row index within the bank.
+    pub row: u64,
+}
+
+impl DramModel {
+    /// Creates the memory system.
+    ///
+    /// # Panics
+    /// Panics when the configuration has zero channels, ranks or banks.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(
+            cfg.channels > 0 && cfg.ranks > 0 && cfg.banks > 0,
+            "DRAM needs at least one channel, rank, and bank"
+        );
+        let banks_per_channel = cfg.ranks * cfg.banks;
+        let channels = (0..cfg.channels)
+            .map(|_| Channel {
+                banks: vec![Bank::default(); banks_per_channel],
+                bus_free: Cycle::ZERO,
+            })
+            .collect();
+        DramModel {
+            cfg,
+            channels,
+            row_hits: 0,
+            row_empty: 0,
+            row_conflicts: 0,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Address mapping: channel-interleaved at block granularity, then
+    /// column, bank, row (open-page friendly).
+    pub fn coords(&self, block: BlockAddr) -> DramCoords {
+        let channels = self.cfg.channels as u64;
+        let blocks_per_row = (self.cfg.row_bytes / 64) as u64;
+        let banks = (self.cfg.ranks * self.cfg.banks) as u64;
+        let in_channel = block.0 / channels;
+        DramCoords {
+            channel: (block.0 % channels) as usize,
+            bank: ((in_channel / blocks_per_row) % banks) as usize,
+            row: in_channel / blocks_per_row / banks,
+        }
+    }
+
+    fn access(&mut self, now: Cycle, block: BlockAddr) -> Cycle {
+        let c = self.coords(block);
+        let cmd_dram_cycles = {
+            let bank = &self.channels[c.channel].banks[c.bank];
+            match bank.open_row {
+                Some(r) if r == c.row => {
+                    self.row_hits += 1;
+                    self.cfg.t_cas
+                }
+                Some(_) => {
+                    self.row_conflicts += 1;
+                    self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+                }
+                None => {
+                    self.row_empty += 1;
+                    self.cfg.t_rcd + self.cfg.t_cas
+                }
+            }
+        };
+        let burst = self.cfg.burst_len / 2; // BL=8 → 4 command-clock cycles
+        let cmd = self.cfg.to_core_cycles(cmd_dram_cycles);
+        let burst_core = self.cfg.to_core_cycles(burst);
+        let chan = &mut self.channels[c.channel];
+        let bank = &mut chan.banks[c.bank];
+        let t0 = now.max(bank.busy_until);
+        let data_start = Cycle(t0.0 + cmd).max(chan.bus_free);
+        let finish = data_start + burst_core;
+        chan.bus_free = finish;
+        bank.busy_until = finish;
+        bank.open_row = Some(c.row);
+        finish
+    }
+
+    /// Performs a read; returns the completion time (data available at the
+    /// memory controller).
+    pub fn read(&mut self, now: Cycle, block: BlockAddr) -> Cycle {
+        self.reads += 1;
+        self.access(now, block)
+    }
+
+    /// Performs a write; returns the completion time. Callers normally do
+    /// not wait on writes — the return value matters only for bus/bank
+    /// occupancy, which this call has already charged.
+    pub fn write(&mut self, now: Cycle, block: BlockAddr) -> Cycle {
+        self.writes += 1;
+        self.access(now, block)
+    }
+
+    /// (row hits, row-empty activations, row conflicts) so far.
+    pub fn row_stats(&self) -> (u64, u64, u64) {
+        (self.row_hits, self.row_empty, self.row_conflicts)
+    }
+
+    /// (reads, writes) so far.
+    pub fn rw_counts(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DramModel {
+        DramModel::new(DramConfig::default())
+    }
+
+    #[test]
+    fn coords_cover_structures() {
+        let m = model();
+        let mut chans = [false; 2];
+        let mut banks = [false; 16];
+        for b in 0..1024u64 {
+            let c = m.coords(BlockAddr(b));
+            chans[c.channel] = true;
+            banks[c.bank] = true;
+        }
+        assert!(chans.iter().all(|&x| x));
+        assert!(banks.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn same_row_blocks_share_bank_and_row() {
+        let m = model();
+        // Blocks 0 and 2 are consecutive in channel 0 (block 1 goes to ch 1).
+        let a = m.coords(BlockAddr(0));
+        let b = m.coords(BlockAddr(2));
+        assert_eq!(a.channel, b.channel);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.row, b.row);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        let mut m = model();
+        let t1 = m.read(Cycle(0), BlockAddr(0));
+        let first = t1.since(Cycle(0));
+        // Same row again, long after contention cleared.
+        let t2 = m.read(Cycle(10_000), BlockAddr(2));
+        let hit = t2.since(Cycle(10_000));
+        assert!(hit < first, "row hit {hit} should beat empty-row {first}");
+        // Now hit a different row in the same bank: conflict.
+        let blocks_per_row = 16u64;
+        let banks = 16u64;
+        let same_bank_other_row = BlockAddr(blocks_per_row * banks * 2); // ch0, bank0, row 1
+        let c = m.coords(same_bank_other_row);
+        assert_eq!((c.channel, c.bank), (0, 0));
+        assert_eq!(c.row, 1);
+        let t3 = m.read(Cycle(20_000), same_bank_other_row);
+        let conflict = t3.since(Cycle(20_000));
+        assert!(conflict > hit);
+        let (hits, empty, conflicts) = m.row_stats();
+        assert_eq!((hits, empty, conflicts), (1, 1, 1));
+    }
+
+    #[test]
+    fn bank_contention_queues() {
+        let mut m = model();
+        let t1 = m.read(Cycle(0), BlockAddr(0));
+        // Immediately issue to the same bank: must wait for the first.
+        let t2 = m.read(Cycle(0), BlockAddr(2));
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn independent_channels_do_not_queue() {
+        let mut m = model();
+        let t1 = m.read(Cycle(0), BlockAddr(0)); // channel 0
+        let t2 = m.read(Cycle(0), BlockAddr(1)); // channel 1
+        // Channel 1 unaffected by channel 0 (same latency from time 0).
+        assert_eq!(t2.since(Cycle(0)), t1.since(Cycle(0)));
+    }
+
+    #[test]
+    fn write_counts() {
+        let mut m = model();
+        m.write(Cycle(0), BlockAddr(5));
+        m.read(Cycle(0), BlockAddr(6));
+        assert_eq!(m.rw_counts(), (1, 1));
+    }
+
+    #[test]
+    fn expected_latency_magnitudes() {
+        let mut m = model();
+        // Empty row: tRCD+tCAS+burst = (14+14+4)*15/4 = 120 core cycles.
+        let lat = m.read(Cycle(0), BlockAddr(0)).since(Cycle(0));
+        assert_eq!(lat, 120);
+        // Row hit: tCAS+burst = (14+4)*15/4 = 67 core cycles (integer math).
+        let lat2 = m.read(Cycle(1000), BlockAddr(2)).since(Cycle(1000));
+        assert_eq!(lat2, (14 * 15 / 4) + (4 * 15 / 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_channels_panic() {
+        let cfg = DramConfig {
+            channels: 0,
+            ..DramConfig::default()
+        };
+        let _ = DramModel::new(cfg);
+    }
+}

@@ -1,0 +1,350 @@
+//! The private cache hierarchy of one core.
+//!
+//! Each core has split 32 KB L1I/L1D caches and a unified 256 KB L2
+//! (Table I), all LRU. The L2 is the coherence point tracked by the
+//! directory; the L1s are inclusive presence filters beneath it. All L2
+//! evictions are notified to the uncore (clean notices are dataless),
+//! keeping the directory exact — the protocol relies on this (§III-A).
+
+use zerodev_cache::{Replacement, SetAssoc};
+use zerodev_common::{BlockAddr, CoreId, Cycle, MesiState, SocketId, SystemConfig};
+use zerodev_core::{EvictKind, Op, System};
+use zerodev_workloads::MemRef;
+
+/// An L2 line: the MESI state of this core's copy.
+#[derive(Clone, Copy, Debug)]
+struct L2Line {
+    state: MesiState,
+}
+
+/// Effects of one core access that the engine must apply to *other* cores.
+#[derive(Debug, Default)]
+pub struct AccessEffects {
+    /// Latency spent in the private hierarchy (never overlapped).
+    pub latency: u64,
+    /// Latency spent in the uncore (overlappable: the engine divides this
+    /// by the workload's memory-level parallelism before stalling the core).
+    pub uncore_latency: u64,
+    /// Invalidations to apply across the machine.
+    pub invalidations: Vec<zerodev_core::Invalidation>,
+    /// Downgrades to apply across the machine.
+    pub downgrades: Vec<zerodev_core::system::Downgrade>,
+}
+
+/// One core's private hierarchy.
+pub struct CoreModel {
+    socket: SocketId,
+    core: CoreId,
+    l1i: SetAssoc<()>,
+    l1d: SetAssoc<()>,
+    l2: SetAssoc<L2Line>,
+    l1_hit: u64,
+    l2_hit: u64,
+}
+
+impl CoreModel {
+    /// Builds the hierarchy for one core of the machine in `cfg`.
+    pub fn new(cfg: &SystemConfig, socket: SocketId, core: CoreId) -> Self {
+        CoreModel {
+            socket,
+            core,
+            l1i: SetAssoc::new(cfg.l1i.sets(), cfg.l1i.ways, Replacement::Lru),
+            l1d: SetAssoc::new(cfg.l1d.sets(), cfg.l1d.ways, Replacement::Lru),
+            l2: SetAssoc::new(cfg.l2.sets(), cfg.l2.ways, Replacement::Lru),
+            l1_hit: cfg.l1_hit_cycles,
+            l2_hit: cfg.l2_hit_cycles,
+        }
+    }
+
+    /// The socket this core belongs to.
+    pub fn socket(&self) -> SocketId {
+        self.socket
+    }
+
+    /// This core's id within its socket.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The MESI state of this core's copy of `block` (Invalid if absent).
+    pub fn state_of(&self, block: BlockAddr) -> MesiState {
+        self.l2
+            .peek(block.0, |_| true)
+            .map_or(MesiState::Invalid, |l| l.state)
+    }
+
+    /// Number of valid L2 lines (diagnostics).
+    pub fn l2_lines(&self) -> usize {
+        self.l2.len()
+    }
+
+    /// Processes one memory reference at time `now`, driving the uncore on
+    /// misses and upgrades. Returns the effects for the engine to apply.
+    pub fn access(&mut self, sys: &mut System, now: Cycle, r: MemRef) -> AccessEffects {
+        let mut fx = AccessEffects {
+            latency: self.l1_hit,
+            ..Default::default()
+        };
+        let key = r.block.0;
+        let l1 = if r.code { &mut self.l1i } else { &mut self.l1d };
+        let l1_hit = l1.touch(key, |_| true).is_some();
+        let mut l2_state = self.state_of(r.block);
+        if !l1_hit {
+            if r.code {
+                sys.stats.l1i_misses += 1;
+            } else {
+                sys.stats.l1d_misses += 1;
+            }
+            if l2_state.is_valid() {
+                // L2 hit: refill the L1 (inclusive; L1 victims are silent).
+                fx.latency += self.l2_hit;
+                let _ = self.l2.touch(key, |_| true);
+                let l1 = if r.code { &mut self.l1i } else { &mut self.l1d };
+                let _ = l1.insert(key, (), |_| false);
+            } else {
+                // Full private-hierarchy miss → uncore.
+                fx.latency += self.l2_hit;
+                let op = if r.write {
+                    Op::ReadExclusive
+                } else if r.code {
+                    Op::CodeRead
+                } else {
+                    Op::Read
+                };
+                let res = sys.access(now, self.socket, self.core, r.block, op);
+                fx.uncore_latency += res.latency;
+                fx.invalidations.extend(res.invalidations);
+                fx.downgrades.extend(res.downgrades);
+                self.fill_l2(sys, now, r.block, res.grant, &mut fx);
+                let l1 = if r.code { &mut self.l1i } else { &mut self.l1d };
+                let _ = l1.insert(key, (), |_| false);
+                l2_state = res.grant;
+            }
+        }
+        // Stores need ownership at the coherence point.
+        if r.write {
+            match l2_state {
+                MesiState::Modified => {}
+                MesiState::Exclusive => {
+                    // Silent E→M upgrade.
+                    self.set_state(r.block, MesiState::Modified);
+                }
+                MesiState::Shared => {
+                    let res = sys.access(now, self.socket, self.core, r.block, Op::Upgrade);
+                    fx.uncore_latency += res.latency;
+                    fx.invalidations.extend(res.invalidations);
+                    fx.downgrades.extend(res.downgrades);
+                    self.set_state(r.block, MesiState::Modified);
+                }
+                MesiState::Invalid => {
+                    unreachable!("write path installed the line above")
+                }
+            }
+        }
+        fx
+    }
+
+    fn set_state(&mut self, block: BlockAddr, state: MesiState) {
+        if let Some(l) = self.l2.peek_mut(block.0, |_| true) {
+            l.state = state;
+        }
+    }
+
+    /// Installs a freshly granted line in the L2, notifying the uncore of
+    /// the victim (and keeping the L1s inclusive).
+    fn fill_l2(
+        &mut self,
+        sys: &mut System,
+        now: Cycle,
+        block: BlockAddr,
+        grant: MesiState,
+        fx: &mut AccessEffects,
+    ) {
+        debug_assert!(grant.is_valid());
+        let victim = self.l2.insert(block.0, L2Line { state: grant }, |_| false);
+        if let Some((vkey, vline)) = victim {
+            let vblock = BlockAddr(vkey);
+            // L1 copies of the victim vanish with it (inclusive hierarchy).
+            let _ = self.l1i.remove(vkey, |_| true);
+            let _ = self.l1d.remove(vkey, |_| true);
+            let kind = match vline.state {
+                MesiState::Modified => EvictKind::Dirty,
+                MesiState::Exclusive => EvictKind::CleanExclusive,
+                MesiState::Shared => EvictKind::CleanShared,
+                MesiState::Invalid => unreachable!("valid lines only in L2"),
+            };
+            let invals = sys.evict(now, self.socket, self.core, vblock, kind);
+            fx.invalidations.extend(invals);
+        }
+    }
+
+    /// Applies an invalidation from the uncore. Returns the state the line
+    /// was in (the engine reports M lines back to the protocol).
+    pub fn apply_invalidation(&mut self, block: BlockAddr) -> MesiState {
+        let state = self.state_of(block);
+        let _ = self.l2.remove(block.0, |_| true);
+        let _ = self.l1i.remove(block.0, |_| true);
+        let _ = self.l1d.remove(block.0, |_| true);
+        state
+    }
+
+    /// Applies a downgrade (M/E → S). Returns true when the line was M
+    /// (the engine then reports the sharing writeback).
+    pub fn apply_downgrade(&mut self, block: BlockAddr) -> bool {
+        let was_m = self.state_of(block) == MesiState::Modified;
+        self.set_state(block, MesiState::Shared);
+        was_m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerodev_common::config::CacheGeometry;
+    use zerodev_workloads::MemRef;
+
+    fn cfg() -> SystemConfig {
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.cores = 2;
+        cfg.l1i = CacheGeometry::new(1 << 10, 2);
+        cfg.l1d = CacheGeometry::new(1 << 10, 2);
+        cfg.l2 = CacheGeometry::new(4 << 10, 4);
+        cfg.llc = CacheGeometry::new(64 << 10, 4);
+        cfg.llc_banks = 2;
+        cfg
+    }
+
+    fn mk(sys: &System, core: u16) -> CoreModel {
+        CoreModel::new(sys.config(), SocketId(0), CoreId(core))
+    }
+
+    fn read(b: u64) -> MemRef {
+        MemRef {
+            block: BlockAddr(b),
+            write: false,
+            code: false,
+            gap: 0,
+        }
+    }
+
+    fn write(b: u64) -> MemRef {
+        MemRef {
+            block: BlockAddr(b),
+            write: true,
+            code: false,
+            gap: 0,
+        }
+    }
+
+    #[test]
+    fn l1_hit_is_cheap() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c = mk(&sys, 0);
+        let miss = c.access(&mut sys, Cycle(0), read(5));
+        assert!(miss.uncore_latency > 100);
+        let hit = c.access(&mut sys, Cycle(10), read(5));
+        assert_eq!(hit.latency, sys.config().l1_hit_cycles);
+        assert_eq!(hit.uncore_latency, 0);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c = mk(&sys, 0);
+        // L1D: 8 sets × 2 ways. Fill one set with 3 blocks: 5, 5+8, 5+16.
+        c.access(&mut sys, Cycle(0), read(5));
+        c.access(&mut sys, Cycle(0), read(5 + 8));
+        c.access(&mut sys, Cycle(0), read(5 + 16));
+        // Block 5 fell out of L1 but is still in L2.
+        let lat = c.access(&mut sys, Cycle(0), read(5));
+        assert_eq!(
+            lat.latency,
+            sys.config().l1_hit_cycles + sys.config().l2_hit_cycles
+        );
+    }
+
+    #[test]
+    fn write_to_exclusive_is_silent() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c = mk(&sys, 0);
+        c.access(&mut sys, Cycle(0), read(5));
+        assert_eq!(c.state_of(BlockAddr(5)), MesiState::Exclusive);
+        let before = sys.stats.upgrades;
+        let fx = c.access(&mut sys, Cycle(0), write(5));
+        assert_eq!(fx.latency, sys.config().l1_hit_cycles);
+        assert_eq!(sys.stats.upgrades, before, "no upgrade message for E→M");
+        assert_eq!(c.state_of(BlockAddr(5)), MesiState::Modified);
+    }
+
+    #[test]
+    fn write_to_shared_upgrades() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c0 = mk(&sys, 0);
+        let mut c1 = mk(&sys, 1);
+        c0.access(&mut sys, Cycle(0), read(5));
+        let fx = c1.access(&mut sys, Cycle(0), read(5));
+        for d in &fx.downgrades {
+            assert_eq!(d.core, CoreId(0));
+            c0.apply_downgrade(d.block);
+        }
+        assert_eq!(c0.state_of(BlockAddr(5)), MesiState::Shared);
+        let fx = c0.access(&mut sys, Cycle(0), write(5));
+        assert_eq!(sys.stats.upgrades, 1);
+        // c1 must be invalidated.
+        assert!(fx
+            .invalidations
+            .iter()
+            .any(|i| i.core == CoreId(1) && i.block == BlockAddr(5)));
+        c1.apply_invalidation(BlockAddr(5));
+        assert_eq!(c1.state_of(BlockAddr(5)), MesiState::Invalid);
+        assert_eq!(c0.state_of(BlockAddr(5)), MesiState::Modified);
+    }
+
+    #[test]
+    fn l2_eviction_notifies_uncore() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c = mk(&sys, 0);
+        // L2: 16 sets × 4 ways. Overfill one set.
+        let sets = sys.config().l2.sets() as u64;
+        for i in 0..5 {
+            c.access(&mut sys, Cycle(0), read(3 + i * sets));
+        }
+        // The first block was evicted and its entry freed.
+        assert!(sys.entry_of(SocketId(0), BlockAddr(3)).is_none());
+        assert_eq!(c.state_of(BlockAddr(3)), MesiState::Invalid);
+        assert_eq!(c.l2_lines(), 4);
+    }
+
+    #[test]
+    fn dirty_l2_eviction_writes_back() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c = mk(&sys, 0);
+        let sets = sys.config().l2.sets() as u64;
+        c.access(&mut sys, Cycle(0), write(3));
+        for i in 1..5 {
+            c.access(&mut sys, Cycle(0), read(3 + i * sets));
+        }
+        assert!(matches!(
+            sys.llc_line_of(SocketId(0), BlockAddr(3)),
+            Some(zerodev_core::LlcLine::Data { dirty: true })
+        ));
+    }
+
+    #[test]
+    fn code_reads_use_l1i_and_share() {
+        let mut sys = System::new(cfg()).unwrap();
+        let mut c0 = mk(&sys, 0);
+        let mut c1 = mk(&sys, 1);
+        let code = MemRef {
+            block: BlockAddr(7),
+            write: false,
+            code: true,
+            gap: 0,
+        };
+        c0.access(&mut sys, Cycle(0), code);
+        assert_eq!(c0.state_of(BlockAddr(7)), MesiState::Shared);
+        let fx = c1.access(&mut sys, Cycle(0), code);
+        assert!(fx.downgrades.is_empty(), "code is S-state, no downgrade");
+        assert_eq!(c1.state_of(BlockAddr(7)), MesiState::Shared);
+    }
+}

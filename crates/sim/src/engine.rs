@@ -1,0 +1,273 @@
+//! The deterministic event loop interleaving all cores.
+
+use crate::core_model::{AccessEffects, CoreModel};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use zerodev_common::{CoreId, Cycle, MesiState, SocketId, Stats, SystemConfig};
+use zerodev_core::{InvalReason, System};
+use zerodev_workloads::{Workload, WorkloadKind};
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Workload name.
+    pub name: String,
+    /// Workload kind (decides the speedup metric).
+    pub kind: WorkloadKind,
+    /// Protocol/uncore counters.
+    pub stats: Stats,
+    /// Per-core cycle count at which the core retired its reference target.
+    pub core_cycles: Vec<u64>,
+    /// Per-core instructions retired at the target point.
+    pub core_instrs: Vec<u64>,
+    /// Completion time of the slowest core (multi-threaded metric).
+    pub completion_cycles: u64,
+    /// DRAM (reads, writes) observed.
+    pub dram_rw: (u64, u64),
+}
+
+impl SimResult {
+    /// Per-core IPC at the measurement target.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.core_cycles
+            .iter()
+            .zip(&self.core_instrs)
+            .map(|(&c, &i)| i as f64 / c.max(1) as f64)
+            .collect()
+    }
+
+    /// The paper's speedup metric versus a baseline run: completion-time
+    /// ratio for multi-threaded workloads, normalised weighted speedup for
+    /// multi-programmed ones.
+    ///
+    /// # Panics
+    /// Panics when the runs have different core counts.
+    pub fn speedup_vs(&self, base: &SimResult) -> f64 {
+        assert_eq!(self.core_cycles.len(), base.core_cycles.len());
+        match self.kind {
+            WorkloadKind::MultiThreaded => {
+                base.completion_cycles as f64 / self.completion_cycles.max(1) as f64
+            }
+            WorkloadKind::MultiProgrammed => {
+                let a = self.ipcs();
+                let b = base.ipcs();
+                a.iter().zip(&b).map(|(x, y)| x / y).sum::<f64>() / a.len() as f64
+            }
+        }
+    }
+
+    /// Core-cache misses per kilo-instruction (Figure 2 annotation).
+    pub fn misses_per_kilo_instr(&self) -> f64 {
+        let instrs: u64 = self.core_instrs.iter().sum();
+        self.stats.core_cache_misses as f64 * 1000.0 / instrs.max(1) as f64
+    }
+}
+
+/// A running simulation: the protocol engine plus all core models and the
+/// workload's reference generators.
+pub struct Simulation {
+    sys: System,
+    cores: Vec<CoreModel>,
+    workload: Workload,
+}
+
+impl Simulation {
+    /// Builds a simulation of `workload` on the machine in `cfg`.
+    ///
+    /// # Panics
+    /// Panics when the workload thread count does not match the machine's
+    /// total core count, or the config is invalid.
+    pub fn new(cfg: &SystemConfig, workload: Workload) -> Self {
+        let total = cfg.cores * cfg.sockets;
+        assert_eq!(
+            workload.threads.len(),
+            total,
+            "workload threads ({}) must match machine cores ({total})",
+            workload.threads.len()
+        );
+        let sys = System::new(cfg.clone()).expect("valid config");
+        let cores = (0..total)
+            .map(|t| {
+                CoreModel::new(
+                    cfg,
+                    SocketId((t / cfg.cores) as u8),
+                    CoreId((t % cfg.cores) as u16),
+                )
+            })
+            .collect();
+        Simulation {
+            sys,
+            cores,
+            workload,
+        }
+    }
+
+    /// Read access to the protocol engine (diagnostics).
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    fn core_index(&self, socket: SocketId, core: CoreId) -> usize {
+        socket.0 as usize * self.sys.config().cores + core.0 as usize
+    }
+
+    /// Applies invalidations/downgrades to the victim cores, reporting
+    /// dirty data back to the protocol (which may cascade). Returns the
+    /// core-visible latency: private latency plus the uncore latency
+    /// de-rated by the workload's memory-level parallelism.
+    fn apply_effects(&mut self, now: Cycle, mut fx: AccessEffects, mlp: f64) -> u64 {
+        let latency = fx.latency + (fx.uncore_latency as f64 / mlp.max(1.0)).round() as u64;
+        let mut pending_inv = std::mem::take(&mut fx.invalidations);
+        for d in fx.downgrades {
+            let idx = self.core_index(d.socket, d.core);
+            if self.cores[idx].apply_downgrade(d.block) {
+                self.sys.sharing_writeback(now, d.socket, d.block);
+            }
+        }
+        while let Some(inv) = pending_inv.pop() {
+            let idx = self.core_index(inv.socket, inv.core);
+            let state = self.cores[idx].apply_invalidation(inv.block);
+            if state == MesiState::Modified {
+                match inv.reason {
+                    InvalReason::Dev => {
+                        let more = self.sys.dev_dirty_recall(now, inv.socket, inv.block);
+                        pending_inv.extend(more);
+                    }
+                    InvalReason::Inclusion => {
+                        self.sys.inclusion_dirty_writeback(now, inv.socket, inv.block);
+                    }
+                    InvalReason::Coherence => {
+                        // Dirty data travelled with the ownership transfer.
+                    }
+                }
+            }
+        }
+        latency
+    }
+
+    /// Runs until every core has retired `refs_per_core` references after a
+    /// per-core warm-up of `warmup_refs` (not counted in the statistics).
+    /// Early finishers keep running until the last core reaches its target,
+    /// as in the paper's multi-programmed methodology.
+    pub fn run(mut self, refs_per_core: u64, warmup_refs: u64) -> SimResult {
+        let n = self.cores.len();
+        // Warm-up: interleave round-robin without timing.
+        for _ in 0..warmup_refs {
+            for t in 0..n {
+                let r = self.workload.threads[t].next_ref();
+                let (socket, core) = (self.cores[t].socket(), self.cores[t].core());
+                let _ = (socket, core);
+                let mlp = self.workload.threads[t].spec().mlp;
+                let fx = self.cores[t].access(&mut self.sys, Cycle(0), r);
+                let _ = self.apply_effects(Cycle(0), fx, mlp);
+            }
+        }
+        // Reset statistics after warm-up, preserving the live gauges (they
+        // track real structure occupancy, not events).
+        let mut fresh = Stats::new();
+        fresh.spilled_lines_current = self.sys.stats.spilled_lines_current;
+        fresh.spilled_lines_max = fresh.spilled_lines_current;
+        fresh.dir_live_entries = self.sys.stats.dir_live_entries;
+        fresh.dir_live_entries_max = fresh.dir_live_entries;
+        self.sys.stats = fresh;
+
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
+            .map(|t| Reverse((t as u64, t))) // stagger starts by one cycle
+            .collect();
+        let mut refs_done = vec![0u64; n];
+        let mut instrs = vec![0u64; n];
+        let mut core_cycles = vec![0u64; n];
+        let mut core_instrs = vec![0u64; n];
+        let mut finished = 0usize;
+
+        while let Some(Reverse((now, t))) = heap.pop() {
+            if finished == n {
+                break;
+            }
+            let r = self.workload.threads[t].next_ref();
+            let mlp = self.workload.threads[t].spec().mlp;
+            let issue = now + u64::from(r.gap);
+            let fx = self.cores[t].access(&mut self.sys, Cycle(issue), r);
+            let lat = self.apply_effects(Cycle(issue), fx, mlp);
+            let done = issue + lat;
+            instrs[t] += u64::from(r.gap) + 1;
+            refs_done[t] += 1;
+            if refs_done[t] == refs_per_core {
+                core_cycles[t] = done;
+                core_instrs[t] = instrs[t];
+                finished += 1;
+                if finished == n {
+                    break;
+                }
+            }
+            heap.push(Reverse((done, t)));
+        }
+
+        let (dr, dw) = self.sys.memory().dram_counts();
+        SimResult {
+            name: self.workload.name.clone(),
+            kind: self.workload.kind,
+            stats: self.sys.stats.clone(),
+            completion_cycles: core_cycles.iter().copied().max().unwrap_or(0),
+            core_cycles,
+            core_instrs,
+            dram_rw: (dr, dw),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerodev_workloads::multithreaded;
+
+    fn small_run(name: &str) -> SimResult {
+        let cfg = SystemConfig::baseline_8core();
+        let wl = multithreaded(name, 8, 11).unwrap();
+        Simulation::new(&cfg, wl).run(2_000, 200)
+    }
+
+    #[test]
+    fn run_completes_all_cores() {
+        let r = small_run("swaptions");
+        assert_eq!(r.core_cycles.len(), 8);
+        assert!(r.core_cycles.iter().all(|&c| c > 0));
+        assert!(r.completion_cycles >= *r.core_cycles.iter().max().unwrap());
+        assert!(r.stats.core_cache_misses > 0);
+        assert!(r.dram_rw.0 > 0);
+    }
+
+    #[test]
+    fn deterministic_repeats() {
+        let a = small_run("ferret");
+        let b = small_run("ferret");
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.stats.core_cache_misses, b.stats.core_cache_misses);
+        assert_eq!(a.stats.total_traffic_bytes(), b.stats.total_traffic_bytes());
+    }
+
+    #[test]
+    fn speedup_vs_self_is_one() {
+        let a = small_run("ferret");
+        let b = small_run("ferret");
+        let s = a.speedup_vs(&b);
+        assert!((s - 1.0).abs() < 1e-9, "self speedup {s}");
+    }
+
+    #[test]
+    fn ipcs_are_positive_and_bounded() {
+        let r = small_run("streamcluster");
+        for ipc in r.ipcs() {
+            assert!(ipc > 0.0 && ipc <= 1.0, "ipc {ipc}");
+        }
+        assert!(r.misses_per_kilo_instr() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn thread_count_mismatch_panics() {
+        let cfg = SystemConfig::baseline_8core();
+        let wl = multithreaded("ferret", 4, 1).unwrap();
+        let _ = Simulation::new(&cfg, wl);
+    }
+}

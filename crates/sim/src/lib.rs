@@ -1,0 +1,34 @@
+//! Full-system CMP simulation: trace-driven cores on top of the
+//! `zerodev-core` protocol engine.
+//!
+//! * [`core_model`] — the private L1I/L1D/L2 hierarchy of one core,
+//!   including upgrade generation, eviction notices, and the application of
+//!   invalidations/downgrades.
+//! * [`engine`] — the event loop interleaving all cores deterministically,
+//!   plus completion/IPC accounting (weighted speedup for multi-programmed
+//!   workloads, completion time for multi-threaded ones).
+//! * [`energy`] — the CACTI-substitute energy model for the
+//!   sparse-directory + LLC energy comparison (§V).
+//! * [`runner`] — one-call experiment execution: run a workload on a
+//!   config, normalise against a baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use zerodev_sim::runner::{run, RunParams};
+//! use zerodev_common::SystemConfig;
+//! use zerodev_workloads::multithreaded;
+//!
+//! let cfg = SystemConfig::baseline_8core();
+//! let wl = multithreaded("swaptions", 8, 1).unwrap();
+//! let res = run(&cfg, wl, &RunParams { refs_per_core: 2_000, warmup_refs: 200 });
+//! assert!(res.completion_cycles > 0);
+//! ```
+
+pub mod core_model;
+pub mod energy;
+pub mod engine;
+pub mod runner;
+
+pub use engine::{SimResult, Simulation};
+pub use runner::{run, RunParams};

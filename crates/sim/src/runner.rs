@@ -1,0 +1,115 @@
+//! One-call experiment execution helpers used by the figure harnesses.
+
+use crate::energy::{energy, EnergyReport};
+use crate::engine::{SimResult, Simulation};
+use zerodev_common::SystemConfig;
+use zerodev_workloads::Workload;
+
+/// Run length parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RunParams {
+    /// References each core must retire in the measured region.
+    pub refs_per_core: u64,
+    /// References each core executes to warm caches before measurement.
+    pub warmup_refs: u64,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        // Sized so a full figure (dozens of configurations) regenerates in
+        // seconds while footprints still exceed the private caches.
+        RunParams {
+            refs_per_core: 100_000,
+            warmup_refs: 25_000,
+        }
+    }
+}
+
+impl RunParams {
+    /// A faster profile for smoke tests and CI.
+    pub fn quick() -> Self {
+        RunParams {
+            refs_per_core: 8_000,
+            warmup_refs: 2_000,
+        }
+    }
+
+    /// Reads `ZERODEV_QUICK=1` to switch every harness to the quick profile.
+    pub fn from_env() -> Self {
+        if std::env::var("ZERODEV_QUICK").is_ok_and(|v| v == "1") {
+            Self::quick()
+        } else {
+            Self::default()
+        }
+    }
+}
+
+/// Runs `workload` on the machine in `cfg` and attaches the energy report.
+pub fn run(cfg: &SystemConfig, workload: Workload, params: &RunParams) -> RunWithEnergy {
+    let sim = Simulation::new(cfg, workload);
+    let result = sim.run(params.refs_per_core, params.warmup_refs);
+    let e = energy(cfg, &result.stats, result.completion_cycles);
+    RunWithEnergy { result, energy: e }
+}
+
+/// A run result plus its energy report.
+#[derive(Clone, Debug)]
+pub struct RunWithEnergy {
+    /// The simulation result.
+    pub result: SimResult,
+    /// The directory + LLC energy report.
+    pub energy: EnergyReport,
+}
+
+impl std::ops::Deref for RunWithEnergy {
+    type Target = SimResult;
+    fn deref(&self) -> &SimResult {
+        &self.result
+    }
+}
+
+/// Convenience: ratio of traffic bytes (config / baseline).
+pub fn traffic_ratio(cfg_run: &SimResult, base: &SimResult) -> f64 {
+    cfg_run.stats.total_traffic_bytes() as f64 / base.stats.total_traffic_bytes().max(1) as f64
+}
+
+/// Convenience: ratio of core-cache misses (config / baseline).
+pub fn miss_ratio(cfg_run: &SimResult, base: &SimResult) -> f64 {
+    cfg_run.stats.core_cache_misses as f64 / base.stats.core_cache_misses.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerodev_common::config::{DirectoryKind, ZeroDevConfig};
+    use zerodev_workloads::{multithreaded, rate};
+
+    #[test]
+    fn run_attaches_energy() {
+        let cfg = SystemConfig::baseline_8core();
+        let wl = multithreaded("swaptions", 8, 3).unwrap();
+        let r = run(&cfg, wl, &RunParams::quick());
+        assert!(r.energy.total_nj() > 0.0);
+        assert!(r.completion_cycles > 0);
+    }
+
+    #[test]
+    fn zerodev_nodir_has_no_devs_on_real_workload() {
+        let cfg = SystemConfig::baseline_8core()
+            .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        let wl = multithreaded("ocean_cp", 8, 5).unwrap();
+        let r = run(&cfg, wl, &RunParams::quick());
+        assert_eq!(r.stats.dev_invalidations, 0);
+        assert!(r.stats.dir_spills + r.stats.dir_fuses > 0);
+    }
+
+    #[test]
+    fn ratios_are_near_one_for_identical_configs() {
+        let cfg = SystemConfig::baseline_8core();
+        let a = run(&cfg, rate("leela", 8, 7).unwrap(), &RunParams::quick());
+        let b = run(&cfg, rate("leela", 8, 7).unwrap(), &RunParams::quick());
+        assert!((traffic_ratio(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((miss_ratio(&a, &b) - 1.0).abs() < 1e-9);
+        assert!((a.speedup_vs(&b) - 1.0).abs() < 1e-9);
+    }
+}

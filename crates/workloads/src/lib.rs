@@ -1,0 +1,30 @@
+//! Synthetic workload generators modelling the paper's benchmark suites.
+//!
+//! The paper evaluates on PARSEC, SPLASH2X, SPEC OMP, FFTW, SPEC CPU 2017
+//! (rate and heterogeneous multi-programmed mixes), and trace-driven server
+//! workloads. None of those binaries or traces are available here, so each
+//! application is modelled by a parameter vector ([`WorkloadSpec`]) —
+//! per-thread private working set, shared read-only/read-write regions,
+//! code footprint, write fractions, locality skew, and memory-op density —
+//! chosen so the *qualitative* behaviours the paper reports are reproduced
+//! (which applications are DEV-sensitive, LLC-capacity-sensitive, sharing-
+//! heavy, and so on). See DESIGN.md for the substitution rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use zerodev_workloads::{multithreaded, suites};
+//!
+//! let name = suites::PARSEC[0];
+//! let mut wl = multithreaded(name, 8, 42).unwrap();
+//! let r = wl.threads[0].next_ref();
+//! assert!(r.gap < 1_000);
+//! ```
+
+mod gen;
+mod spec;
+mod trace;
+
+pub use gen::{hetero_mix, multithreaded, rate, server, MemRef, ThreadGen, Workload, WorkloadKind};
+pub use spec::{lookup, suites, Suite, WorkloadSpec};
+pub use trace::{ParseTraceError, Trace};

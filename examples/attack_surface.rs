@@ -1,0 +1,98 @@
+//! Core-cache isolation demo: the conflict-based directory side channel
+//! (Yan et al., IEEE S&P 2019) that motivates §I-A2 of the paper, and how
+//! ZeroDEV closes it by construction.
+//!
+//! An "attacker" process primes the sparse directory sets that alias with a
+//! "victim" process's secret-dependent working set. In the baseline, the
+//! victim's accesses evict the attacker's directory entries, invalidating
+//! the attacker's privately cached blocks — observable as extra misses
+//! (the Prime+Probe signal). Under ZeroDEV the attacker's probe misses are
+//! independent of the victim's behaviour: zero DEVs, no signal.
+//!
+//! ```text
+//! cargo run --release --example attack_surface
+//! ```
+
+use zerodev_common::config::{DirectoryKind, Ratio, ZeroDevConfig};
+use zerodev_common::{BlockAddr, CoreId, Cycle, MesiState, SocketId, SystemConfig};
+use zerodev_core::{EvictKind, Op, System};
+
+/// Number of attacker blocks primed per directory set-alias group.
+const PRIME_BLOCKS: u64 = 2048;
+
+/// Runs the prime → victim-access → probe experiment; returns the number of
+/// attacker probe misses (the side-channel signal).
+fn prime_probe(mut sys: System, victim_accesses: u64) -> u64 {
+    let attacker = CoreId(0);
+    let victim = CoreId(1);
+    let s0 = SocketId(0);
+    // Prime: attacker fills directory sets with its own tracked blocks.
+    let attacker_blocks: Vec<BlockAddr> = (0..PRIME_BLOCKS).map(|i| BlockAddr(0x10_0000 + i)).collect();
+    let mut attacker_live: Vec<bool> = vec![true; attacker_blocks.len()];
+    for &b in &attacker_blocks {
+        let r = sys.access(Cycle(0), s0, attacker, b, Op::Read);
+        // The attacker's own priming can self-conflict; apply invalidations.
+        for inv in r.invalidations {
+            if inv.core == attacker {
+                if let Some(i) = attacker_blocks.iter().position(|&x| x == inv.block) {
+                    attacker_live[i] = false;
+                }
+            }
+        }
+        if let Some(i) = attacker_blocks.iter().position(|&x| x == b) {
+            attacker_live[i] = true;
+        }
+    }
+    // Victim: secret-dependent accesses to blocks aliasing the same sets.
+    for i in 0..victim_accesses {
+        let b = BlockAddr(0x90_0000 + i);
+        let r = sys.access(Cycle(0), s0, victim, b, Op::Read);
+        for inv in r.invalidations {
+            if inv.core == attacker {
+                if let Some(j) = attacker_blocks.iter().position(|&x| x == inv.block) {
+                    attacker_live[j] = false; // a DEV hit the attacker!
+                }
+            }
+        }
+        // The victim's cache is small; evict immediately to keep pressure on
+        // the *directory*, not the victim's own cache.
+        let _ = sys.evict(Cycle(0), s0, victim, b, EvictKind::CleanExclusive);
+    }
+    // Probe: count attacker blocks that lost their cached copy.
+    let lost = attacker_live.iter().filter(|l| !**l).count() as u64;
+    // Cross-check against the protocol's own state.
+    for (i, &b) in attacker_blocks.iter().enumerate() {
+        if attacker_live[i] {
+            let e = sys.entry_of(s0, b);
+            assert!(
+                e.is_some_and(|e| e.sharers.contains(attacker)) || sys.memory_corrupted(b),
+                "live attacker block untracked"
+            );
+        }
+    }
+    let _ = MesiState::Invalid;
+    lost
+}
+
+fn main() {
+    // A small directory makes the channel loud in the baseline.
+    let mut base_cfg = SystemConfig::baseline_8core().with_sparse_dir(Ratio::new(1, 8));
+    base_cfg.cores = 2;
+    let mut zd_cfg = SystemConfig::baseline_8core()
+        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    zd_cfg.cores = 2;
+
+    println!("directory Prime+Probe: attacker blocks lost to victim activity\n");
+    println!("victim accesses |   baseline (1/8x dir) |  ZeroDEV (no dir)");
+    for victim_accesses in [0u64, 1000, 4000, 16000] {
+        let base_lost = prime_probe(System::new(base_cfg.clone()).unwrap(), victim_accesses);
+        let zd_lost = prime_probe(System::new(zd_cfg.clone()).unwrap(), victim_accesses);
+        println!("{victim_accesses:>15} | {base_lost:>22} | {zd_lost:>17}");
+        assert_eq!(zd_lost, 0, "ZeroDEV leaks no directory-conflict signal");
+    }
+    println!(
+        "\nbaseline: the victim's footprint modulates the attacker's losses —\n\
+         a usable side channel. ZeroDEV: zero losses at every activity level;\n\
+         the core caches are fully isolated from directory evictions."
+    );
+}

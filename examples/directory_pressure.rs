@@ -1,0 +1,85 @@
+//! Directory-pressure study: how the baseline degrades as the sparse
+//! directory shrinks, versus ZeroDEV's insensitivity — the motivation for
+//! the paper's "unbounded directory illusion".
+//!
+//! Sweeps a DEV-sensitive rate workload (`xalancbmk`, the paper's Figure 2
+//! outlier) across directory sizes for both protocols and prints speedup,
+//! DEV counts, and where the directory entries live.
+//!
+//! ```text
+//! cargo run --release --example directory_pressure
+//! ```
+
+use zerodev_common::config::{DirectoryKind, Ratio, ZeroDevConfig};
+use zerodev_common::table::Table;
+use zerodev_common::SystemConfig;
+use zerodev_sim::runner::{run, RunParams};
+use zerodev_workloads::rate;
+
+fn main() {
+    let params = RunParams::default();
+    let wl = || rate("xalancbmk", 8, 7).expect("known app");
+    let base = run(&SystemConfig::baseline_8core(), wl(), &params);
+
+    let mut t = Table::new(&[
+        "config",
+        "speedup",
+        "DEVs",
+        "spills",
+        "fuses",
+        "wb_de",
+    ]);
+    for (num, den) in [(1u32, 1u32), (1, 2), (1, 8), (1, 32)] {
+        let ratio = Ratio::new(num, den);
+        // Baseline with a shrinking sparse directory.
+        let bcfg = SystemConfig::baseline_8core().with_sparse_dir(ratio);
+        let b = run(&bcfg, wl(), &params);
+        t.row(&[
+            format!("baseline {ratio}"),
+            format!("{:.3}", b.result.speedup_vs(&base.result)),
+            b.stats.dev_invalidations.to_string(),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+        ]);
+        // ZeroDEV with the same (replacement-disabled) directory budget.
+        let zcfg = SystemConfig::baseline_8core().with_zerodev(
+            ZeroDevConfig::default(),
+            DirectoryKind::Sparse {
+                ratio,
+                ways: 8,
+                replacement_disabled: true,
+            },
+        );
+        let z = run(&zcfg, wl(), &params);
+        t.row(&[
+            format!("ZeroDEV {ratio}"),
+            format!("{:.3}", z.result.speedup_vs(&base.result)),
+            z.stats.dev_invalidations.to_string(),
+            z.stats.dir_spills.to_string(),
+            z.stats.dir_fuses.to_string(),
+            z.stats.dir_llc_evictions.to_string(),
+        ]);
+        assert_eq!(z.stats.dev_invalidations, 0, "ZeroDEV is DEV-free");
+    }
+    // And with no directory at all.
+    let zcfg =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let z = run(&zcfg, wl(), &params);
+    t.row(&[
+        "ZeroDEV NoDir".into(),
+        format!("{:.3}", z.result.speedup_vs(&base.result)),
+        z.stats.dev_invalidations.to_string(),
+        z.stats.dir_spills.to_string(),
+        z.stats.dir_fuses.to_string(),
+        z.stats.dir_llc_evictions.to_string(),
+    ]);
+    println!("xalancbmk (8-copy rate), speedups normalised to the 1x baseline\n");
+    print!("{}", t.render());
+    println!(
+        "\nThe baseline degrades as the directory shrinks (every victim entry\n\
+         invalidates live cached blocks); ZeroDEV stays flat because evicted\n\
+         entries move to the LLC (fused into their own block's line when the\n\
+         block is privately owned) and, under pressure, to home memory."
+    );
+}

@@ -1,0 +1,43 @@
+//! Quickstart: build the paper's baseline machine and a ZeroDEV machine,
+//! run the same workload on both, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use zerodev_common::config::{DirectoryKind, ZeroDevConfig};
+use zerodev_common::SystemConfig;
+use zerodev_sim::runner::{run, RunParams};
+use zerodev_workloads::multithreaded;
+
+fn main() {
+    // Table I: 8 cores, 8 MB non-inclusive LLC, 1x sparse directory.
+    let baseline = SystemConfig::baseline_8core();
+    // The paper's headline configuration: ZeroDEV (FPSS + dataLRU) with no
+    // dedicated directory structure at all.
+    let zerodev = SystemConfig::baseline_8core()
+        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+
+    println!("--- machine ---\n{}", zerodev.describe());
+
+    let params = RunParams::default();
+    let app = "ocean_cp";
+    let base = run(&baseline, multithreaded(app, 8, 42).expect("known app"), &params);
+    let zd = run(&zerodev, multithreaded(app, 8, 42).expect("known app"), &params);
+
+    println!("--- {app} on the baseline ---");
+    print!("{}", base.stats.summary());
+    println!("\n--- {app} on ZeroDEV (no directory) ---");
+    print!("{}", zd.stats.summary());
+
+    println!("\nspeedup (ZeroDEV vs baseline): {:.3}", zd.result.speedup_vs(&base.result));
+    println!(
+        "DEV invalidations: baseline {} vs ZeroDEV {} (guaranteed zero)",
+        base.stats.dev_invalidations, zd.stats.dev_invalidations
+    );
+    println!(
+        "directory entries cached in the LLC: {} spills, {} fuses, {} sent to memory",
+        zd.stats.dir_spills, zd.stats.dir_fuses, zd.stats.dir_llc_evictions
+    );
+    assert_eq!(zd.stats.dev_invalidations, 0);
+}
