@@ -1,9 +1,11 @@
-//! Criterion micro-benchmarks for the simulator's building blocks: the
+//! Micro-benchmarks for the simulator's building blocks: the
 //! set-associative array, the directory structures, the LLC bank with
 //! ZeroDEV line states, the DRAM timing model, the mesh, and the workload
 //! generators.
+//!
+//! `cargo bench -p zerodev-bench --features criterion-benches`
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zerodev_bench::microbench::{bench_function, black_box, group};
 use zerodev_cache::{Replacement, SetAssoc};
 use zerodev_common::config::{DirectoryKind, LlcReplacement, Ratio, SystemConfig};
 use zerodev_common::{BlockAddr, CoreId, Cycle, Prng};
@@ -13,9 +15,9 @@ use zerodev_dram::DramModel;
 use zerodev_noc::SocketTopology;
 use zerodev_workloads::{multithreaded, rate};
 
-fn bench_setassoc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("setassoc");
-    g.bench_function("touch_hit", |b| {
+fn bench_setassoc() {
+    group("setassoc");
+    bench_function("touch_hit", |b| {
         let mut cache: SetAssoc<u64> = SetAssoc::new(1024, 16, Replacement::Lru);
         for i in 0..4096u64 {
             cache.insert(i, i, |_| false);
@@ -26,7 +28,7 @@ fn bench_setassoc(c: &mut Criterion) {
             black_box(cache.touch(i, |_| true).is_some())
         });
     });
-    g.bench_function("insert_evict", |b| {
+    bench_function("insert_evict", |b| {
         let mut cache: SetAssoc<u64> = SetAssoc::new(64, 8, Replacement::Lru);
         let mut i = 0u64;
         b.iter(|| {
@@ -34,11 +36,10 @@ fn bench_setassoc(c: &mut Criterion) {
             black_box(cache.insert(i, i, |_| false))
         });
     });
-    g.finish();
 }
 
-fn bench_directories(c: &mut Criterion) {
-    let mut g = c.benchmark_group("directory");
+fn bench_directories() {
+    group("directory");
     let cfg = SystemConfig::baseline_8core();
     for (name, kind) in [
         (
@@ -62,7 +63,7 @@ fn bench_directories(c: &mut Criterion) {
             DirectoryKind::SecDir(DirStore::secdir_geometry(8, false)),
         ),
     ] {
-        g.bench_function(format!("alloc_remove/{name}"), |b| {
+        bench_function(&format!("alloc_remove/{name}"), |b| {
             let mut c2 = cfg.clone();
             c2.directory = kind.clone();
             if matches!(kind, DirectoryKind::None) {
@@ -81,12 +82,11 @@ fn bench_directories(c: &mut Criterion) {
             });
         });
     }
-    g.finish();
 }
 
-fn bench_llc_bank(c: &mut Criterion) {
-    let mut g = c.benchmark_group("llc_bank");
-    g.bench_function("fill_spill_cycle", |b| {
+fn bench_llc_bank() {
+    group("llc_bank");
+    bench_function("fill_spill_cycle", |b| {
         let mut bank = LlcBank::new(1024, 16, 8, 0);
         let mut i = 0u64;
         b.iter(|| {
@@ -102,11 +102,11 @@ fn bench_llc_bank(c: &mut Criterion) {
             }
         });
     });
-    g.finish();
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram/read", |b| {
+fn bench_dram() {
+    group("dram");
+    bench_function("dram/read", |b| {
         let mut dram = DramModel::new(SystemConfig::baseline_8core().dram);
         let mut i = 0u64;
         let mut t = Cycle(0);
@@ -118,8 +118,9 @@ fn bench_dram(c: &mut Criterion) {
     });
 }
 
-fn bench_noc(c: &mut Criterion) {
-    c.bench_function("noc/latency_128core", |b| {
+fn bench_noc() {
+    group("noc");
+    bench_function("noc/latency_128core", |b| {
         let topo = SocketTopology::new(128, 32, 8, Default::default());
         let mut i = 0usize;
         b.iter(|| {
@@ -129,9 +130,9 @@ fn bench_noc(c: &mut Criterion) {
     });
 }
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload_gen");
-    g.bench_function("multithreaded_next_ref", |b| {
+fn bench_workloads() {
+    group("workload_gen");
+    bench_function("multithreaded_next_ref", |b| {
         let mut wl = multithreaded("ocean_cp", 8, 1).unwrap();
         let mut t = 0usize;
         b.iter(|| {
@@ -139,7 +140,7 @@ fn bench_workloads(c: &mut Criterion) {
             black_box(wl.threads[t].next_ref())
         });
     });
-    g.bench_function("rate_next_ref", |b| {
+    bench_function("rate_next_ref", |b| {
         let mut wl = rate("xalancbmk", 8, 1).unwrap();
         let mut t = 0usize;
         b.iter(|| {
@@ -147,19 +148,22 @@ fn bench_workloads(c: &mut Criterion) {
             black_box(wl.threads[t].next_ref())
         });
     });
-    g.finish();
 }
 
-fn bench_prng(c: &mut Criterion) {
-    c.bench_function("prng/next_u64", |b| {
+fn bench_prng() {
+    group("prng");
+    bench_function("prng/next_u64", |b| {
         let mut rng = Prng::seeded(1);
         b.iter(|| black_box(rng.next_u64()));
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_setassoc, bench_directories, bench_llc_bank, bench_dram, bench_noc, bench_workloads, bench_prng
+fn main() {
+    bench_setassoc();
+    bench_directories();
+    bench_llc_bank();
+    bench_dram();
+    bench_noc();
+    bench_workloads();
+    bench_prng();
 }
-criterion_main!(benches);

@@ -1,8 +1,10 @@
-//! Criterion benchmarks for the protocol engine: sustained access/evict
+//! Micro-benchmarks for the protocol engine: sustained access/evict
 //! throughput under each coherence configuration. These bound how fast the
 //! figure harnesses can run.
+//!
+//! `cargo bench -p zerodev-bench --features criterion-benches`
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zerodev_bench::microbench::{bench_function, black_box, group};
 use zerodev_common::config::{DirectoryKind, LlcReplacement, SpillPolicy, ZeroDevConfig};
 use zerodev_common::{BlockAddr, CoreId, Cycle, Prng, SocketId, SystemConfig};
 use zerodev_core::{EvictKind, Op, System};
@@ -52,8 +54,8 @@ fn drive(sys: &mut System, rng: &mut Prng, present: &mut [Option<bool>], blocks:
     }
 }
 
-fn bench_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("protocol_access");
+fn bench_protocol() {
+    group("protocol_access");
     let blocks = 4096u64;
     let configs: Vec<(&str, SystemConfig)> = vec![
         ("baseline_1x", SystemConfig::baseline_8core()),
@@ -86,18 +88,18 @@ fn bench_protocol(c: &mut Criterion) {
         ),
     ];
     for (name, cfg) in configs {
-        g.bench_function(name, |b| {
+        bench_function(name, |b| {
             let mut sys = System::new(cfg.clone()).unwrap();
             let mut rng = Prng::seeded(7);
             let mut present = vec![None; (blocks * 8) as usize];
             b.iter(|| drive(&mut sys, &mut rng, &mut present, blocks));
         });
     }
-    g.finish();
 }
 
-fn bench_multisocket(c: &mut Criterion) {
-    c.bench_function("protocol_access/four_socket_zerodev", |b| {
+fn bench_multisocket() {
+    group("multisocket");
+    bench_function("protocol_access/four_socket_zerodev", |b| {
         let cfg = SystemConfig::four_socket()
             .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
         let mut sys = System::new(cfg).unwrap();
@@ -116,9 +118,7 @@ fn bench_multisocket(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_protocol, bench_multisocket
+fn main() {
+    bench_protocol();
+    bench_multisocket();
 }
-criterion_main!(benches);

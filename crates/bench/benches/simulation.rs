@@ -1,19 +1,21 @@
-//! Criterion benchmarks for full end-to-end simulations: one short run per
+//! Micro-benchmarks for full end-to-end simulations: one short run per
 //! machine configuration, measuring whole-stack throughput (workload
 //! generation + private caches + protocol + DRAM + statistics).
+//!
+//! `cargo bench -p zerodev-bench --features criterion-benches`
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zerodev_bench::microbench::{bench_function, black_box, group};
 use zerodev_common::config::{DirectoryKind, LlcDesign, ZeroDevConfig};
 use zerodev_common::SystemConfig;
 use zerodev_sim::runner::{run, RunParams};
 use zerodev_workloads::{multithreaded, rate};
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulation");
-    g.sample_size(10);
+fn bench_simulation() {
+    group("simulation");
     let params = RunParams {
         refs_per_core: 3_000,
         warmup_refs: 500,
+        ..Default::default()
     };
     let mut epd = SystemConfig::baseline_8core();
     epd.llc_design = LlcDesign::Epd;
@@ -31,26 +33,22 @@ fn bench_simulation(c: &mut Criterion) {
         ("zerodev_inclusive", incl),
     ];
     for (name, cfg) in configs {
-        g.bench_function(format!("mt_ocean_cp/{name}"), |b| {
+        bench_function(&format!("mt_ocean_cp/{name}"), |b| {
             b.iter(|| {
                 let wl = multithreaded("ocean_cp", 8, 1).unwrap();
                 black_box(run(&cfg, wl, &params).completion_cycles)
             });
         });
     }
-    g.bench_function("rate_xalancbmk/baseline", |b| {
+    bench_function("rate_xalancbmk/baseline", |b| {
         let cfg = SystemConfig::baseline_8core();
         b.iter(|| {
             let wl = rate("xalancbmk", 8, 1).unwrap();
             black_box(run(&cfg, wl, &params).completion_cycles)
         });
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_simulation
+fn main() {
+    bench_simulation();
 }
-criterion_main!(benches);

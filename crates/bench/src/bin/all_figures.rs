@@ -1,54 +1,24 @@
-//! Runs every figure harness in sequence (the full paper reproduction).
+//! Runs every figure harness in one process (the full paper reproduction).
 //!
 //! `cargo run --release -p zerodev-bench --bin all_figures`
 //!
-//! Set `ZERODEV_QUICK=1` for a fast smoke pass.
+//! Set `ZERODEV_QUICK=1` for a fast smoke pass and `ZERODEV_THREADS=N` to
+//! control the sweep engine's worker count (`1` = serial). Running in one
+//! process lets every figure share the engine's baseline memoization
+//! cache — each (config, workload) simulation is computed once and every
+//! later figure that needs it gets a cache hit; the sweep-throughput
+//! summary at the end reports how much work that saved.
 
-use std::process::Command;
-
-const FIGURES: &[&str] = &[
-    "fig_table1",
-    "fig02",
-    "fig03",
-    "fig04",
-    "fig05",
-    "fig06",
-    "fig17",
-    "fig18",
-    "fig19",
-    "fig20",
-    "fig21",
-    "fig22",
-    "fig23",
-    "fig24",
-    "fig25",
-    "fig26",
-    "fig27",
-    "fig_energy",
-    "fig_multisocket",
-];
+use std::time::Instant;
+use zerodev_bench::figures;
 
 fn main() {
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
-    let mut failed = Vec::new();
-    for fig in FIGURES {
-        let t0 = std::time::Instant::now();
-        let status = Command::new(exe_dir.join(fig))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {fig}: {e}"));
-        eprintln!("[{fig}: {:?}]", t0.elapsed());
-        if !status.success() {
-            failed.push(*fig);
-        }
+    let t_all = Instant::now();
+    for (name, fig) in figures::ALL {
+        let t0 = Instant::now();
+        fig();
+        eprintln!("[{name}: {:?}]", t0.elapsed());
     }
-    if failed.is_empty() {
-        println!("\nall {} figures regenerated", FIGURES.len());
-    } else {
-        eprintln!("\nFAILED figures: {failed:?}");
-        std::process::exit(1);
-    }
+    println!("\nall {} figures regenerated", figures::ALL.len());
+    zerodev_bench::print_sweep_summary(t_all.elapsed());
 }

@@ -4,45 +4,6 @@
 //! unlimited-capacity directory. The last column is the paper's bar-top
 //! annotation: core-cache misses saved per kilo-instruction.
 
-use zerodev_bench::{baseline, execute, rate8, unbounded};
-use zerodev_common::table::{mean, Table};
-use zerodev_workloads::suites;
-
 fn main() {
-    let base_cfg = baseline();
-    let unb_cfg = unbounded();
-    let mut t = Table::new(&["app", "traffic", "misses", "speedup", "d-mpki"]);
-    let (mut traf, mut miss, mut spd) = (Vec::new(), Vec::new(), Vec::new());
-    for app in suites::CPU2017 {
-        let b = execute(&base_cfg, rate8(app));
-        let u = execute(&unb_cfg, rate8(app));
-        let tr = u.stats.total_traffic_bytes() as f64 / b.stats.total_traffic_bytes().max(1) as f64;
-        let mr = u.stats.core_cache_misses as f64 / b.stats.core_cache_misses.max(1) as f64;
-        let sp = u.result.speedup_vs(&b.result);
-        let dm = (b.misses_per_kilo_instr() - u.misses_per_kilo_instr()).max(0.0);
-        t.row(&[
-            app.to_string(),
-            format!("{tr:.3}"),
-            format!("{mr:.3}"),
-            format!("{sp:.3}"),
-            format!("{dm:.2}"),
-        ]);
-        traf.push(tr);
-        miss.push(mr);
-        spd.push(sp);
-    }
-    t.row(&[
-        "AVERAGE".into(),
-        format!("{:.3}", mean(&traf)),
-        format!("{:.3}", mean(&miss)),
-        format!("{:.3}", mean(&spd)),
-        String::new(),
-    ]);
-    println!("== Figure 2: 1x sparse directory vs unbounded directory (CPU2017 rate) ==");
-    println!("(values are unbounded normalised to the 1x baseline)");
-    print!("{}", t.render());
-    println!(
-        "paper shape: average speedup under 1.01; ~10% traffic and ~15% miss savings;\n\
-         xalancbmk is the outlier with the largest saved-misses-per-kilo-instruction."
-    );
+    zerodev_bench::figures::fig02::run();
 }

@@ -3,49 +3,6 @@
 //! per-application; SPLASH2X / SPEC OMP / FFTW as suite averages, as in the
 //! paper).
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, unbounded};
-use zerodev_common::table::{mean, Table};
-
 fn main() {
-    let base_cfg = baseline();
-    let unb_cfg = unbounded();
-    let mut t = Table::new(&["workload", "traffic", "misses", "speedup", "d-mpki"]);
-    for (suite, apps) in mt_suites() {
-        let (mut traf, mut miss, mut spd) = (Vec::new(), Vec::new(), Vec::new());
-        for app in &apps {
-            let b = execute(&base_cfg, mt(app, 8));
-            let u = execute(&unb_cfg, mt(app, 8));
-            let tr = u.stats.total_traffic_bytes() as f64
-                / b.stats.total_traffic_bytes().max(1) as f64;
-            let mr = u.stats.core_cache_misses as f64 / b.stats.core_cache_misses.max(1) as f64;
-            let sp = u.result.speedup_vs(&b.result);
-            if suite == "PARSEC" {
-                let dm = (b.misses_per_kilo_instr() - u.misses_per_kilo_instr()).max(0.0);
-                t.row(&[
-                    (*app).to_string(),
-                    format!("{tr:.3}"),
-                    format!("{mr:.3}"),
-                    format!("{sp:.3}"),
-                    format!("{dm:.2}"),
-                ]);
-            }
-            traf.push(tr);
-            miss.push(mr);
-            spd.push(sp);
-        }
-        t.row(&[
-            format!("{suite}-AVG"),
-            format!("{:.3}", mean(&traf)),
-            format!("{:.3}", mean(&miss)),
-            format!("{:.3}", mean(&spd)),
-            String::new(),
-        ]);
-    }
-    println!("== Figure 3: multi-threaded applications, unbounded vs 1x directory ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: a 1x directory is adequate for these suites (speedups ~1.0);\n\
-         freqmine *loses* with the unbounded directory because baseline DEVs\n\
-         pre-clean its dirty blocks into the LLC."
-    );
+    zerodev_bench::figures::fig03::run();
 }

@@ -2,49 +2,6 @@
 //! speedup (normalised to the 1× baseline) of 1/2×, 1/8×, and 1/32× sparse
 //! directories.
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, rate8, sparse, Maker};
-use zerodev_common::table::{geomean, Table};
-use zerodev_workloads::suites;
-
 fn main() {
-    let base_cfg = baseline();
-    let sizes = [(1u32, 2u32), (1, 8), (1, 32)];
-    let mut t = Table::new(&["suite", "1/2x", "1/8x", "1/32x"]);
-    let mut groups: Vec<(&str, Vec<Maker>)> = Vec::new();
-    for (suite, apps) in mt_suites() {
-        let makers: Vec<Maker> = apps
-            .iter()
-            .map(|a| {
-                let a = a.to_string();
-                Box::new(move || mt(&a, 8)) as Maker
-            })
-            .collect();
-        groups.push((suite, makers));
-    }
-    let rate_makers: Vec<Maker> = suites::CPU2017
-        .iter()
-        .map(|a| {
-            let a = a.to_string();
-            Box::new(move || rate8(&a)) as Maker
-        })
-        .collect();
-    groups.push(("CPU2017RATE", rate_makers));
-
-    for (suite, makers) in groups {
-        let mut cells = vec![suite.to_string()];
-        let bases: Vec<_> = makers.iter().map(|m| execute(&base_cfg, m())).collect();
-        for (num, den) in sizes {
-            let cfg = sparse(num, den);
-            let speedups: Vec<f64> = makers
-                .iter()
-                .zip(&bases)
-                .map(|(m, b)| execute(&cfg, m()).result.speedup_vs(&b.result))
-                .collect();
-            cells.push(format!("{:.3}", geomean(&speedups)));
-        }
-        t.row(&cells);
-    }
-    println!("== Figure 4: speedup vs sparse directory size (normalised to 1x) ==");
-    print!("{}", t.render());
-    println!("paper shape: gradual decline with shrinking directory; 1/32x worst (~0.6-0.9).");
+    zerodev_bench::figures::fig04::run();
 }

@@ -9,66 +9,6 @@
 //! with the largest footprint and the average of the per-application
 //! maxima.
 
-use zerodev_bench::{execute, mt, mt_suites, rate8};
-use zerodev_common::config::{
-    DirectoryKind, LlcReplacement, Ratio, SpillPolicy, ZeroDevConfig,
-};
-use zerodev_common::table::{mean, Table};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::suites;
-
-fn spill_probe_cfg() -> SystemConfig {
-    SystemConfig::baseline_8core().with_zerodev(
-        ZeroDevConfig {
-            policy: SpillPolicy::SpillAll,
-            llc_replacement: LlcReplacement::DataLru,
-            ..Default::default()
-        },
-        DirectoryKind::Sparse {
-            ratio: Ratio::ONE,
-            ways: 8,
-            replacement_disabled: true,
-        },
-    )
-}
-
 fn main() {
-    let cfg = spill_probe_cfg();
-    let llc_blocks = cfg.llc.lines() as f64;
-    let mut t = Table::new(&["suite", "max-of-max %", "max app", "avg-of-max %"]);
-    let mut groups: Vec<(&str, Vec<String>, bool)> = mt_suites()
-        .into_iter()
-        .map(|(s, apps)| (s, apps.iter().map(|a| a.to_string()).collect(), true))
-        .collect();
-    groups.push((
-        "CPU2017RATE",
-        suites::CPU2017.iter().map(|a| a.to_string()).collect(),
-        false,
-    ));
-    for (suite, apps, is_mt) in groups {
-        let mut maxima = Vec::new();
-        let mut worst = (0.0f64, String::new());
-        for app in &apps {
-            let wl = if is_mt { mt(app, 8) } else { rate8(app) };
-            let r = execute(&cfg, wl);
-            let pct = r.stats.spilled_lines_max as f64 / llc_blocks * 100.0;
-            if pct > worst.0 {
-                worst = (pct, app.clone());
-            }
-            maxima.push(pct);
-        }
-        t.row(&[
-            suite.to_string(),
-            format!("{:.1}", worst.0),
-            worst.1,
-            format!("{:.1}", mean(&maxima)),
-        ]);
-    }
-    println!("== Figure 5: projected LLC occupancy of spilled directory entries ==");
-    println!("(entries a 1x directory cannot hold, one full LLC line each)");
-    print!("{}", t.render());
-    println!(
-        "paper shape: maximum occupancy around 12% of LLC blocks (< 2 of 16 ways),\n\
-         average at most ~10%; led by the largest-footprint application per suite."
-    );
+    zerodev_bench::figures::fig05::run();
 }

@@ -3,63 +3,6 @@
 //! a directory cached in the LLC would take. Speedups are normalised to the
 //! 16-way baseline; the annotation is the worst application in each suite.
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, rate8};
-use zerodev_common::config::CacheGeometry;
-use zerodev_common::table::{geomean, Table};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::suites;
-
-/// The baseline LLC with `ways` ways per set (same 1024 sets per bank).
-fn reduced_llc(ways: usize) -> SystemConfig {
-    let mut cfg = baseline();
-    cfg.llc = CacheGeometry::new(ways * 512 * 1024, ways);
-    cfg.validate().expect("reduced-way LLC is valid");
-    cfg
-}
-
 fn main() {
-    let base_cfg = baseline();
-    let mut t = Table::new(&["suite", "15 ways", "14 ways", "13 ways", "12 ways", "worst app @12"]);
-    let mut groups: Vec<(&str, Vec<String>, bool)> = mt_suites()
-        .into_iter()
-        .map(|(s, apps)| (s, apps.iter().map(|a| a.to_string()).collect(), true))
-        .collect();
-    groups.push((
-        "CPU2017RATE",
-        suites::CPU2017.iter().map(|a| a.to_string()).collect(),
-        false,
-    ));
-    for (suite, apps, is_mt) in groups {
-        let bases: Vec<_> = apps
-            .iter()
-            .map(|a| {
-                let wlb = if is_mt { mt(a, 8) } else { rate8(a) };
-                execute(&base_cfg, wlb)
-            })
-            .collect();
-        let mut cells = vec![suite.to_string()];
-        let mut worst_at_12 = (f64::INFINITY, String::new());
-        for ways in [15usize, 14, 13, 12] {
-            let cfg = reduced_llc(ways);
-            let mut speedups = Vec::new();
-            for (a, b) in apps.iter().zip(&bases) {
-                let wlc = if is_mt { mt(a, 8) } else { rate8(a) };
-                let s = execute(&cfg, wlc).result.speedup_vs(&b.result);
-                if ways == 12 && s < worst_at_12.0 {
-                    worst_at_12 = (s, a.clone());
-                }
-                speedups.push(s);
-            }
-            cells.push(format!("{:.3}", geomean(&speedups)));
-        }
-        cells.push(format!("{} ({:.2})", worst_at_12.1, worst_at_12.0));
-        t.row(&cells);
-    }
-    println!("== Figure 6: performance with reduced LLC associativity ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: losing 2 ways costs at most ~3% on average, but the worst\n\
-         applications (vips, lu_ncb, 330.art, gcc.ppO2) lose 5-14%; at 12 ways the\n\
-         worst-case losses reach 9-22%."
-    );
+    zerodev_bench::figures::fig06::run();
 }

@@ -5,59 +5,6 @@
 //! Speedups are normalised to the 1× baseline; the annotation is the
 //! minimum speedup within each suite.
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, rate8, zerodev_nodir};
-use zerodev_common::config::{LlcReplacement, SpillPolicy};
-use zerodev_common::table::{geomean, Table};
-use zerodev_workloads::suites;
-
 fn main() {
-    let base_cfg = baseline();
-    let policies = [
-        ("SpillAll", SpillPolicy::SpillAll),
-        ("FPSS", SpillPolicy::FusePrivateSpillShared),
-        ("FuseAll", SpillPolicy::FuseAll),
-    ];
-    let mut t = Table::new(&["suite", "SpillAll", "FPSS", "FuseAll", "min(SpillAll/FPSS/FuseAll)"]);
-    let mut groups: Vec<(&str, Vec<String>, bool)> = mt_suites()
-        .into_iter()
-        .map(|(s, apps)| (s, apps.iter().map(|a| a.to_string()).collect(), true))
-        .collect();
-    groups.push((
-        "CPU2017RATE",
-        suites::CPU2017.iter().map(|a| a.to_string()).collect(),
-        false,
-    ));
-    for (suite, apps, is_mt) in groups {
-        let bases: Vec<_> = apps
-            .iter()
-            .map(|a| execute(&base_cfg, if is_mt { mt(a, 8) } else { rate8(a) }))
-            .collect();
-        let mut cells = vec![suite.to_string()];
-        let mut mins = Vec::new();
-        for (_, policy) in policies {
-            let cfg = zerodev_nodir(policy, LlcReplacement::DataLru);
-            let speedups: Vec<f64> = apps
-                .iter()
-                .zip(&bases)
-                .map(|(a, b)| {
-                    execute(&cfg, if is_mt { mt(a, 8) } else { rate8(a) })
-                        .result
-                        .speedup_vs(&b.result)
-                })
-                .collect();
-            mins.push(speedups.iter().copied().fold(f64::INFINITY, f64::min));
-            cells.push(format!("{:.3}", geomean(&speedups)));
-        }
-        cells.push(format!(
-            "{:.2}/{:.2}/{:.2}",
-            mins[0], mins[1], mins[2]
-        ));
-        t.row(&cells);
-    }
-    println!("== Figure 17: SpillAll vs FPSS vs FuseAll (ZeroDEV, no directory, dataLRU) ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: SpillAll worst; FPSS and FuseAll close on average but FPSS\n\
-         has clearly better minimum speedups (FuseAll lengthens shared reads)."
-    );
+    zerodev_bench::figures::fig17::run();
 }

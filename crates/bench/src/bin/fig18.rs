@@ -3,79 +3,6 @@
 //! capacity-constrained 4 MB LLC. All results normalised to the 8 MB
 //! baseline; Base4MB (plain LRU baseline at 4 MB) is shown for reference.
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, rate8, zerodev_nodir};
-use zerodev_common::config::{CacheGeometry, LlcReplacement, SpillPolicy};
-use zerodev_common::table::{geomean, Table};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::suites;
-
-fn with_llc_mb(mut cfg: SystemConfig, mb: usize) -> SystemConfig {
-    cfg.llc = CacheGeometry::new(mb << 20, 16);
-    cfg.validate().expect("valid LLC capacity");
-    cfg
-}
-
 fn main() {
-    let base8 = baseline();
-    let configs: Vec<(&str, SystemConfig)> = vec![
-        (
-            "sp8MB",
-            zerodev_nodir(SpillPolicy::FusePrivateSpillShared, LlcReplacement::SpLru),
-        ),
-        (
-            "data8MB",
-            zerodev_nodir(SpillPolicy::FusePrivateSpillShared, LlcReplacement::DataLru),
-        ),
-        ("Base4MB", with_llc_mb(baseline(), 4)),
-        (
-            "sp4MB",
-            with_llc_mb(
-                zerodev_nodir(SpillPolicy::FusePrivateSpillShared, LlcReplacement::SpLru),
-                4,
-            ),
-        ),
-        (
-            "data4MB",
-            with_llc_mb(
-                zerodev_nodir(SpillPolicy::FusePrivateSpillShared, LlcReplacement::DataLru),
-                4,
-            ),
-        ),
-    ];
-    let mut t = Table::new(&["suite", "sp8MB", "data8MB", "Base4MB", "sp4MB", "data4MB"]);
-    let mut groups: Vec<(&str, Vec<String>, bool)> = mt_suites()
-        .into_iter()
-        .map(|(s, apps)| (s, apps.iter().map(|a| a.to_string()).collect(), true))
-        .collect();
-    groups.push((
-        "CPU2017RATE",
-        suites::CPU2017.iter().map(|a| a.to_string()).collect(),
-        false,
-    ));
-    for (suite, apps, is_mt) in groups {
-        let bases: Vec<_> = apps
-            .iter()
-            .map(|a| execute(&base8, if is_mt { mt(a, 8) } else { rate8(a) }))
-            .collect();
-        let mut cells = vec![suite.to_string()];
-        for (_, cfg) in &configs {
-            let speedups: Vec<f64> = apps
-                .iter()
-                .zip(&bases)
-                .map(|(a, b)| {
-                    execute(cfg, if is_mt { mt(a, 8) } else { rate8(a) })
-                        .result
-                        .speedup_vs(&b.result)
-                })
-                .collect();
-            cells.push(format!("{:.3}", geomean(&speedups)));
-        }
-        t.row(&cells);
-    }
-    println!("== Figure 18: spLRU vs dataLRU (normalised to the 8 MB baseline) ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: dataLRU beats spLRU across the board; the gap widens at the\n\
-         capacity-constrained 4 MB LLC because spLRU leaves fused entries exposed."
-    );
+    zerodev_bench::figures::fig18::run();
 }

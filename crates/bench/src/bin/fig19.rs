@@ -2,19 +2,6 @@
 //! directory configurations (1×, 1/8×, and no directory), normalised to
 //! the baseline with a 1× sparse directory.
 
-use zerodev_bench::{mt_makers, per_app_speedups, print_norm_table, zerodev_trio};
-use zerodev_workloads::suites;
-
 fn main() {
-    let configs = zerodev_trio();
-    let rows = per_app_speedups(&mt_makers(&suites::PARSEC, 8), &configs);
-    print_norm_table(
-        "Figure 19: ZeroDEV on PARSEC (normalised to 1x baseline)",
-        &["ZD+1x", "ZD+1/8x", "ZD+NoDir"],
-        &rows,
-    );
-    println!(
-        "paper shape: nearly invariant of the directory size; within ~1% of the\n\
-         baseline on average; freqmine has the largest slowdown."
-    );
+    zerodev_bench::figures::fig19::run();
 }

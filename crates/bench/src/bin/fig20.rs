@@ -2,25 +2,6 @@
 //! three directory configurations (1×, 1/8×, none), normalised to the 1×
 //! baseline.
 
-use zerodev_bench::{mt_makers, per_app_speedups, print_norm_table, zerodev_trio};
-use zerodev_workloads::suites;
-
 fn main() {
-    let configs = zerodev_trio();
-    let apps: Vec<&'static str> = suites::SPLASH2X
-        .iter()
-        .chain(suites::SPECOMP.iter())
-        .chain(suites::FFTW.iter())
-        .copied()
-        .collect();
-    let rows = per_app_speedups(&mt_makers(&apps, 8), &configs);
-    print_norm_table(
-        "Figure 20: ZeroDEV on SPLASH2X / SPEC OMP / FFTW (normalised to 1x baseline)",
-        &["ZD+1x", "ZD+1/8x", "ZD+NoDir"],
-        &rows,
-    );
-    println!(
-        "paper shape: within ~1% of baseline on average; lu_ncb, raytrace,\n\
-         water_nsquared and 330.art see 1-4% slowdowns."
-    );
+    zerodev_bench::figures::fig20::run();
 }

@@ -2,16 +2,6 @@
 //! workloads with three directory configurations (1×, 1/8×, none),
 //! normalised weighted speedup against the 1× baseline.
 
-use zerodev_bench::{per_app_speedups, print_norm_table, rate_makers, zerodev_trio};
-use zerodev_workloads::suites;
-
 fn main() {
-    let configs = zerodev_trio();
-    let rows = per_app_speedups(&rate_makers(&suites::CPU2017), &configs);
-    print_norm_table(
-        "Figure 21: ZeroDEV on SPEC CPU 2017 rate (normalised weighted speedup)",
-        &["ZD+1x", "ZD+1/8x", "ZD+NoDir"],
-        &rows,
-    );
-    println!("paper shape: within ~1% of baseline on average; cam4 worst at ~2% slowdown.");
+    zerodev_bench::figures::fig21::run();
 }

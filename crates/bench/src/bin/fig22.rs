@@ -2,62 +2,6 @@
 //! (both 16-way), all normalised to the 8 MB baseline. At 16 MB ZeroDEV
 //! needs no directory; at 4 MB it gets a 1/4× sparse-directory assist.
 
-use zerodev_bench::{
-    baseline, execute, mt, mt_suites, rate8, zerodev_default_nodir, zerodev_sparse,
-};
-use zerodev_common::config::CacheGeometry;
-use zerodev_common::table::{geomean, Table};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::suites;
-
-fn with_llc_mb(mut cfg: SystemConfig, mb: usize) -> SystemConfig {
-    cfg.llc = CacheGeometry::new(mb << 20, 16);
-    cfg.validate().expect("valid capacity");
-    cfg
-}
-
 fn main() {
-    let base8 = baseline();
-    let configs: Vec<(&str, SystemConfig)> = vec![
-        ("Base4MB", with_llc_mb(baseline(), 4)),
-        ("ZD4MB+1/4x", with_llc_mb(zerodev_sparse(1, 4), 4)),
-        ("Base16MB", with_llc_mb(baseline(), 16)),
-        ("ZD16MB+NoDir", with_llc_mb(zerodev_default_nodir(), 16)),
-    ];
-    let mut t = Table::new(&["suite", "Base4MB", "ZD4MB+1/4x", "Base16MB", "ZD16MB+NoDir"]);
-    let mut groups: Vec<(&str, Vec<String>, bool)> = mt_suites()
-        .into_iter()
-        .map(|(s, apps)| (s, apps.iter().map(|a| a.to_string()).collect(), true))
-        .collect();
-    groups.push((
-        "CPU2017RATE",
-        suites::CPU2017.iter().map(|a| a.to_string()).collect(),
-        false,
-    ));
-    for (suite, apps, is_mt) in groups {
-        let bases: Vec<_> = apps
-            .iter()
-            .map(|a| execute(&base8, if is_mt { mt(a, 8) } else { rate8(a) }))
-            .collect();
-        let mut cells = vec![suite.to_string()];
-        for (_, cfg) in &configs {
-            let speedups: Vec<f64> = apps
-                .iter()
-                .zip(&bases)
-                .map(|(a, b)| {
-                    execute(cfg, if is_mt { mt(a, 8) } else { rate8(a) })
-                        .result
-                        .speedup_vs(&b.result)
-                })
-                .collect();
-            cells.push(format!("{:.3}", geomean(&speedups)));
-        }
-        t.row(&cells);
-    }
-    println!("== Figure 22: 4 MB / 16 MB LLC sensitivity (normalised to 8 MB baseline) ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: ZeroDEV tracks its same-capacity baseline within ~1% at both\n\
-         capacities (the 4 MB point needs the small sparse-directory assist)."
-    );
+    zerodev_bench::figures::fig22::run();
 }

@@ -2,62 +2,6 @@
 //! the 128-core single-socket machine with a 32 MB LLC, with three
 //! directory configurations, normalised to the 1× baseline.
 
-use zerodev_bench::{execute_with, mt, server_params, print_norm_table, NormRow};
-use zerodev_common::config::{DirectoryKind, Ratio, ZeroDevConfig};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::suites;
-
-fn server_base() -> SystemConfig {
-    SystemConfig::server_128core()
-}
-
-fn server_zd(dir: DirectoryKind) -> SystemConfig {
-    server_base().with_zerodev(ZeroDevConfig::default(), dir)
-}
-
 fn main() {
-    let base_cfg = server_base();
-    let configs = [(
-            "ZD+1x",
-            server_zd(DirectoryKind::Sparse {
-                ratio: Ratio::ONE,
-                ways: 8,
-                replacement_disabled: true,
-            }),
-        ),
-        (
-            "ZD+1/8x",
-            server_zd(DirectoryKind::Sparse {
-                ratio: Ratio::new(1, 8),
-                ways: 8,
-                replacement_disabled: true,
-            }),
-        ),
-        ("ZD+NoDir", server_zd(DirectoryKind::None))];
-    let params = server_params();
-    let mut rows = Vec::new();
-    for app in suites::SERVER {
-        let b = execute_with(&base_cfg, mt(app, 128), &params);
-        let values = configs
-            .iter()
-            .map(|(_, cfg)| {
-                execute_with(cfg, mt(app, 128), &params)
-                    .result
-                    .speedup_vs(&b.result)
-            })
-            .collect();
-        rows.push(NormRow {
-            name: app.to_string(),
-            values,
-        });
-    }
-    print_norm_table(
-        "Figure 24: server workloads on the 128-core machine",
-        &["ZD+1x", "ZD+1/8x", "ZD+NoDir"],
-        &rows,
-    );
-    println!(
-        "paper shape: average within ~1% of baseline for all three configurations;\n\
-         worst case ~1.4% (SPECWeb-S) without a directory."
-    );
+    zerodev_bench::figures::fig24::run();
 }

@@ -4,78 +4,6 @@
 //!
 //! CPU-RATE and CPU-HET are subsampled (every third workload).
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, rate8, zerodev_trio, SEED};
-use zerodev_common::config::{DirectoryKind, Ratio};
-use zerodev_common::table::{geomean, Table};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::{hetero_mix, suites, Workload};
-
-fn mgd(num: u32, den: u32) -> SystemConfig {
-    let mut cfg = baseline();
-    cfg.directory = DirectoryKind::MultiGrain {
-        ratio: Ratio::new(num, den),
-        ways: 8,
-    };
-    cfg
-}
-
 fn main() {
-    let mut configs: Vec<(&str, SystemConfig)> = vec![
-        ("MgD+1/8x", mgd(1, 8)),
-        ("MgD+1/16x", mgd(1, 16)),
-        ("MgD+1/32x", mgd(1, 32)),
-    ];
-    configs.extend(zerodev_trio());
-    let labels: Vec<&str> = configs.iter().map(|(n, _)| *n).collect();
-    let mut header = vec!["group"];
-    header.extend(labels.iter());
-    let mut t = Table::new(&header);
-
-    type Maker = Box<dyn Fn() -> Workload>;
-    let mut groups: Vec<(&str, Vec<Maker>)> = Vec::new();
-    for (suite, apps) in mt_suites() {
-        let makers: Vec<Maker> = apps
-            .iter()
-            .map(|&a| Box::new(move || mt(a, 8)) as Maker)
-            .collect();
-        groups.push((suite, makers));
-    }
-    groups.push((
-        "CPU-RATE",
-        suites::CPU2017
-            .iter()
-            .step_by(3)
-            .map(|&a| Box::new(move || rate8(a)) as Maker)
-            .collect(),
-    ));
-    groups.push((
-        "CPU-HET",
-        (0..36)
-            .step_by(3)
-            .map(|i| Box::new(move || hetero_mix(i, 8, SEED)) as Maker)
-            .collect(),
-    ));
-
-    let base_cfg = baseline();
-    for (group, makers) in groups {
-        let bases: Vec<_> = makers.iter().map(|m| execute(&base_cfg, m())).collect();
-        let mut cells = vec![group.to_string()];
-        for (_, cfg) in &configs {
-            let speedups: Vec<f64> = makers
-                .iter()
-                .zip(&bases)
-                .map(|(m, b)| execute(cfg, m()).result.speedup_vs(&b.result))
-                .collect();
-            cells.push(format!("{:.3}", geomean(&speedups)));
-        }
-        t.row(&cells);
-    }
-    println!("== Figure 26: Multi-grain Directory vs ZeroDEV (normalised to 1x baseline) ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: MgD at 1/8x roughly matches the 1x baseline, then degrades\n\
-         as the directory shrinks (but much more gracefully than the baseline);\n\
-         ZeroDEV stays within ~1% at every size, so the gap widens as the\n\
-         directory shrinks."
-    );
+    zerodev_bench::figures::fig26::run();
 }

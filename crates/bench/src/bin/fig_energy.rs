@@ -2,49 +2,6 @@
 //! without a sparse directory, relative to the baseline (non-inclusive LLC
 //! + 1× directory). The paper's CACTI estimate is ~9% average savings.
 
-use zerodev_bench::{baseline, execute, mt, mt_suites, rate8, zerodev_default_nodir};
-use zerodev_common::table::{mean, Table};
-use zerodev_workloads::suites;
-
 fn main() {
-    let base_cfg = baseline();
-    let zd_cfg = zerodev_default_nodir();
-    let mut t = Table::new(&["suite", "dir+LLC energy (ZD/base)", "saving %"]);
-    let mut groups: Vec<(&str, Vec<String>, bool)> = mt_suites()
-        .into_iter()
-        .map(|(s, apps)| (s, apps.iter().map(|a| a.to_string()).collect(), true))
-        .collect();
-    groups.push((
-        "CPU2017RATE",
-        suites::CPU2017
-            .iter()
-            .step_by(3)
-            .map(|a| a.to_string())
-            .collect(),
-        false,
-    ));
-    let mut all_savings = Vec::new();
-    for (suite, apps, is_mt) in groups {
-        let mut ratios = Vec::new();
-        for app in &apps {
-            let b = execute(&base_cfg, if is_mt { mt(app, 8) } else { rate8(app) });
-            let z = execute(&zd_cfg, if is_mt { mt(app, 8) } else { rate8(app) });
-            ratios.push(z.energy.total_nj() / b.energy.total_nj().max(1e-9));
-        }
-        let r = mean(&ratios);
-        all_savings.push(1.0 - r);
-        t.row(&[
-            suite.to_string(),
-            format!("{r:.3}"),
-            format!("{:.1}", (1.0 - r) * 100.0),
-        ]);
-    }
-    t.row(&[
-        "AVERAGE".into(),
-        String::new(),
-        format!("{:.1}", mean(&all_savings) * 100.0),
-    ]);
-    println!("== Energy: ZeroDEV (no directory) vs baseline, directory+LLC energy ==");
-    print!("{}", t.render());
-    println!("paper shape: ~9% average energy saving from eliminating the sparse directory.");
+    zerodev_bench::figures::fig_energy::run();
 }

@@ -5,70 +5,6 @@
 //! writes from directory-entry eviction; <0.05% of LLC read misses to
 //! corrupted blocks).
 
-use zerodev_bench::{execute, mt, Maker, SEED};
-use zerodev_common::config::{DirectoryKind, ZeroDevConfig};
-use zerodev_common::table::{geomean, mean, Table};
-use zerodev_common::SystemConfig;
-use zerodev_workloads::{hetero_mix, rate, suites};
-
 fn main() {
-    let base_cfg = SystemConfig::four_socket();
-    let zd_cfg = SystemConfig::four_socket().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
-    let total_cores = 32;
-
-    let mut t = Table::new(&["group", "ZD+NoDir speedup", "wbde/DRAM-wr %", "corrupt-read/miss %"]);
-    let mut groups: Vec<(&str, Vec<Maker>)> = Vec::new();
-    let mt_apps = ["canneal", "freqmine", "vips", "ocean_cp", "fft", "330.art", "FFTW"];
-    groups.push((
-        "MT(32-thread)",
-        mt_apps
-            .iter()
-            .map(|&a| Box::new(move || mt(a, total_cores)) as Maker)
-            .collect(),
-    ));
-    groups.push((
-        "CPU-RATE(32-copy)",
-        suites::CPU2017
-            .iter()
-            .step_by(6)
-            .map(|&a| Box::new(move || rate(a, total_cores, SEED).unwrap()) as Maker)
-            .collect(),
-    ));
-    groups.push((
-        "CPU-HET(32-app)",
-        (0..6usize)
-            .map(|i| Box::new(move || hetero_mix(i, total_cores, SEED)) as Maker)
-            .collect(),
-    ));
-
-    for (group, makers) in groups {
-        let mut speedups = Vec::new();
-        let mut wbde_pct = Vec::new();
-        let mut corrupt_pct = Vec::new();
-        for m in &makers {
-            let b = execute(&base_cfg, m());
-            let z = execute(&zd_cfg, m());
-            speedups.push(z.result.speedup_vs(&b.result));
-            wbde_pct.push(
-                z.stats.dram_writes_dir as f64 * 100.0 / z.stats.dram_writes.max(1) as f64,
-            );
-            corrupt_pct.push(
-                z.stats.llc_read_misses_corrupted as f64 * 100.0
-                    / z.stats.llc_misses.max(1) as f64,
-            );
-        }
-        t.row(&[
-            group.to_string(),
-            format!("{:.3}", geomean(&speedups)),
-            format!("{:.2}", mean(&wbde_pct)),
-            format!("{:.3}", mean(&corrupt_pct)),
-        ]);
-    }
-    println!("== Multi-socket (4 x 8 cores): ZeroDEV without intra-socket directory ==");
-    print!("{}", t.render());
-    println!(
-        "paper shape: ZeroDEV-NoDir within ~1.6% of the 1x baseline on average;\n\
-         <0.5% of DRAM writes from directory-entry eviction; a very small\n\
-         fraction of LLC read misses touch corrupted blocks."
-    );
+    zerodev_bench::figures::fig_multisocket::run();
 }

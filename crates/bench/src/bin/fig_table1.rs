@@ -1,10 +1,5 @@
 //! Table I: the simulated-machine parameters (one socket).
 
 fn main() {
-    println!("== Table I: baseline simulation environment (one socket) ==\n");
-    print!("{}", zerodev_bench::baseline().describe());
-    println!("\n== 128-core server machine ==\n");
-    print!("{}", zerodev_common::SystemConfig::server_128core().describe());
-    println!("\n== Four-socket machine (Section V) ==\n");
-    print!("{}", zerodev_common::SystemConfig::four_socket().describe());
+    zerodev_bench::figures::fig_table1::run();
 }

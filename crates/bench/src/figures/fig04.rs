@@ -1,0 +1,33 @@
+//! Figure 4: performance impact of sparse directory size. Per suite, the
+//! speedup (normalised to the 1× baseline) of 1/2×, 1/8×, and 1/32× sparse
+//! directories.
+
+use crate::{baseline, makers_of, run_grid_env, sparse, suite_groups_mt_rate};
+use zerodev_common::table::{geomean, Table};
+use zerodev_common::SystemConfig;
+
+pub fn run() {
+    let base_cfg = baseline();
+    let sized: Vec<SystemConfig> = [(1u32, 2u32), (1, 8), (1, 32)]
+        .iter()
+        .map(|&(num, den)| sparse(num, den))
+        .collect();
+    let mut cfg_refs: Vec<&SystemConfig> = vec![&base_cfg];
+    cfg_refs.extend(sized.iter());
+    let mut t = Table::new(&["suite", "1/2x", "1/8x", "1/32x"]);
+    for (suite, workloads) in suite_groups_mt_rate() {
+        let grid = run_grid_env(&cfg_refs, &makers_of(&workloads));
+        let mut cells = vec![suite.to_string()];
+        for c in 1..cfg_refs.len() {
+            let speedups: Vec<f64> = grid
+                .iter()
+                .map(|row| row[c].result.speedup_vs(&row[0].result))
+                .collect();
+            cells.push(format!("{:.3}", geomean(&speedups)));
+        }
+        t.row(&cells);
+    }
+    println!("== Figure 4: speedup vs sparse directory size (normalised to 1x) ==");
+    print!("{}", t.render());
+    println!("paper shape: gradual decline with shrinking directory; 1/32x worst (~0.6-0.9).");
+}

@@ -1,0 +1,47 @@
+//! Figure 17: comparison between the SpillAll, FusePrivateSpillShared
+//! (FPSS) and FuseAll directory-entry caching policies on the 8-core
+//! single-socket system. ZeroDEV runs with **no** sparse directory (to
+//! maximise the directory footprint in the LLC) and the dataLRU policy.
+//! Speedups are normalised to the 1× baseline; the annotation is the
+//! minimum speedup within each suite.
+
+use crate::{baseline, makers_of, run_grid_env, suite_groups_mt_rate, zerodev_nodir};
+use zerodev_common::config::{LlcReplacement, SpillPolicy};
+use zerodev_common::table::{geomean, Table};
+use zerodev_common::SystemConfig;
+
+pub fn run() {
+    let base_cfg = baseline();
+    let policies: Vec<SystemConfig> = [
+        SpillPolicy::SpillAll,
+        SpillPolicy::FusePrivateSpillShared,
+        SpillPolicy::FuseAll,
+    ]
+    .iter()
+    .map(|&p| zerodev_nodir(p, LlcReplacement::DataLru))
+    .collect();
+    let mut cfg_refs: Vec<&SystemConfig> = vec![&base_cfg];
+    cfg_refs.extend(policies.iter());
+    let mut t = Table::new(&["suite", "SpillAll", "FPSS", "FuseAll", "min(SpillAll/FPSS/FuseAll)"]);
+    for (suite, workloads) in suite_groups_mt_rate() {
+        let grid = run_grid_env(&cfg_refs, &makers_of(&workloads));
+        let mut cells = vec![suite.to_string()];
+        let mut mins = Vec::new();
+        for c in 1..cfg_refs.len() {
+            let speedups: Vec<f64> = grid
+                .iter()
+                .map(|row| row[c].result.speedup_vs(&row[0].result))
+                .collect();
+            mins.push(speedups.iter().copied().fold(f64::INFINITY, f64::min));
+            cells.push(format!("{:.3}", geomean(&speedups)));
+        }
+        cells.push(format!("{:.2}/{:.2}/{:.2}", mins[0], mins[1], mins[2]));
+        t.row(&cells);
+    }
+    println!("== Figure 17: SpillAll vs FPSS vs FuseAll (ZeroDEV, no directory, dataLRU) ==");
+    print!("{}", t.render());
+    println!(
+        "paper shape: SpillAll worst; FPSS and FuseAll close on average but FPSS\n\
+         has clearly better minimum speedups (FuseAll lengthens shared reads)."
+    );
+}

@@ -1,0 +1,10 @@
+//! Table I: the simulated-machine parameters (one socket).
+
+pub fn run() {
+    println!("== Table I: baseline simulation environment (one socket) ==\n");
+    print!("{}", crate::baseline().describe());
+    println!("\n== 128-core server machine ==\n");
+    print!("{}", zerodev_common::SystemConfig::server_128core().describe());
+    println!("\n== Four-socket machine (Section V) ==\n");
+    print!("{}", zerodev_common::SystemConfig::four_socket().describe());
+}

@@ -1,0 +1,48 @@
+//! Library form of every figure harness. Each submodule exposes `run()`
+//! printing the same table its `src/bin/figNN` wrapper used to print; the
+//! binaries are now one-line wrappers so `all_figures` can execute every
+//! figure in one process and share the sweep engine's baseline memoization
+//! cache across figures.
+
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod fig24;
+pub mod fig25;
+pub mod fig26;
+pub mod fig27;
+pub mod fig_energy;
+pub mod fig_multisocket;
+pub mod fig_table1;
+
+/// Every figure, in the order `all_figures` reproduces them.
+pub const ALL: &[(&str, fn())] = &[
+    ("fig_table1", fig_table1::run),
+    ("fig02", fig02::run),
+    ("fig03", fig03::run),
+    ("fig04", fig04::run),
+    ("fig05", fig05::run),
+    ("fig06", fig06::run),
+    ("fig17", fig17::run),
+    ("fig18", fig18::run),
+    ("fig19", fig19::run),
+    ("fig20", fig20::run),
+    ("fig21", fig21::run),
+    ("fig22", fig22::run),
+    ("fig23", fig23::run),
+    ("fig24", fig24::run),
+    ("fig25", fig25::run),
+    ("fig26", fig26::run),
+    ("fig27", fig27::run),
+    ("fig_energy", fig_energy::run),
+    ("fig_multisocket", fig_multisocket::run),
+];

@@ -7,16 +7,31 @@
 //! *shape* — who wins, by roughly what factor, where crossovers fall — is
 //! the reproduction target. See EXPERIMENTS.md for the index.
 //!
-//! Set `ZERODEV_QUICK=1` to run every figure with a shortened measurement
-//! window (used by the integration tests).
+//! The figure bodies live in [`figures`] so `all_figures` can run every
+//! figure in one process and share the sweep engine's baseline memoization
+//! cache; the binaries are thin wrappers.
+//!
+//! All (config × workload) grids execute on the parallel sweep engine
+//! ([`zerodev_sim::parallel`]): results land in deterministic slots, so the
+//! printed tables are bit-identical whatever the worker count. Set
+//! `ZERODEV_THREADS=N` to control it (`1` = exact serial path; default =
+//! available parallelism) and `ZERODEV_QUICK=1` to run every figure with a
+//! shortened measurement window (used by the integration tests).
 
+use std::sync::Arc;
+use std::time::Duration;
 use zerodev_common::config::{
     DirectoryKind, LlcReplacement, Ratio, SpillPolicy, ZeroDevConfig,
 };
 use zerodev_common::table::{geomean, Table};
 use zerodev_common::SystemConfig;
+use zerodev_sim::parallel::{self, Engine, RunJob};
 use zerodev_sim::runner::{run, RunParams, RunWithEnergy};
 use zerodev_workloads::{multithreaded, rate, suites, Workload};
+
+pub mod figures;
+#[cfg(feature = "criterion-benches")]
+pub mod microbench;
 
 /// Seed used by every figure harness (results are fully deterministic).
 pub const SEED: u64 = 0x5eed_2021;
@@ -88,7 +103,8 @@ pub fn zerodev_default_nodir() -> SystemConfig {
     zerodev_nodir(SpillPolicy::FusePrivateSpillShared, LlcReplacement::DataLru)
 }
 
-/// Runs `workload` on `cfg` with the environment-selected run length.
+/// Runs `workload` on `cfg` with the environment-selected run length
+/// (serial, unmemoized — grid sweeps go through [`run_grid`]).
 pub fn execute(cfg: &SystemConfig, workload: Workload) -> RunWithEnergy {
     run(cfg, workload, &RunParams::from_env())
 }
@@ -105,16 +121,100 @@ pub fn server_params() -> RunParams {
     RunParams {
         refs_per_core: p.refs_per_core / 4,
         warmup_refs: p.warmup_refs / 4,
+        ..p
     }
 }
 
-/// A boxed workload constructor (workloads are consumed per run, so sweeps
-/// take factories).
-pub type Maker = Box<dyn Fn() -> Workload>;
+/// A shareable workload constructor (workloads are consumed per run, so
+/// sweeps take factories; `Send + Sync` lets any engine worker build one).
+pub type Maker = zerodev_sim::parallel::WorkloadMaker;
+
+/// Wraps a workload constructor (helper for [`sweep`] / [`run_grid`]).
+pub fn wl<F: Fn() -> Workload + Send + Sync + 'static>(f: F) -> Maker {
+    Arc::new(f)
+}
+
+/// Convenience: (name, constructor) pairs for a multi-threaded app list.
+pub fn mt_makers(apps: &[&'static str], cores: usize) -> Vec<(&'static str, Maker)> {
+    apps.iter().map(|&a| (a, wl(move || mt(a, cores)))).collect()
+}
+
+/// Convenience: (name, constructor) pairs for 8-copy rate workloads.
+pub fn rate_makers(apps: &[&'static str]) -> Vec<(&'static str, Maker)> {
+    apps.iter().map(|&a| (a, wl(move || rate8(a)))).collect()
+}
+
+/// The groups most figures sweep: the four multi-threaded suites of
+/// Table II plus the CPU2017 8-copy rate group.
+pub fn suite_groups_mt_rate() -> Vec<(&'static str, Vec<(&'static str, Maker)>)> {
+    let mut groups: Vec<(&'static str, Vec<(&'static str, Maker)>)> = mt_suites()
+        .into_iter()
+        .map(|(suite, apps)| (suite, mt_makers(&apps, 8)))
+        .collect();
+    groups.push(("CPU2017RATE", rate_makers(&suites::CPU2017)));
+    groups
+}
+
+/// Executes the full (workload × config) grid on the parallel sweep engine
+/// and returns the runs indexed `[workload][config]`, in submission order
+/// (so downstream table code is order-independent of the worker count).
+/// Every run is memoized process-wide, which is what lets `all_figures`
+/// compute each shared baseline once.
+pub fn run_grid(
+    configs: &[&SystemConfig],
+    makers: &[Maker],
+    params: &RunParams,
+) -> Vec<Vec<Arc<RunWithEnergy>>> {
+    let engine = Engine::new(params.threads);
+    let jobs: Vec<RunJob> = makers
+        .iter()
+        .flat_map(|make| {
+            configs
+                .iter()
+                .map(move |cfg| RunJob::new((*cfg).clone(), make.clone(), *params, SEED))
+        })
+        .collect();
+    let outcomes = engine.run_grid(&jobs);
+    outcomes
+        .chunks(configs.len().max(1))
+        .map(|row| row.iter().map(|o| o.run.clone()).collect())
+        .collect()
+}
+
+/// [`run_grid`] with the environment-selected run length.
+pub fn run_grid_env(configs: &[&SystemConfig], makers: &[Maker]) -> Vec<Vec<Arc<RunWithEnergy>>> {
+    run_grid(configs, makers, &RunParams::from_env())
+}
+
+/// Normalised rows from a grid whose column 0 is the per-workload baseline
+/// (`names` parallels the grid's workload axis).
+pub fn rows_vs_col0(names: &[&str], grid: &[Vec<Arc<RunWithEnergy>>]) -> Vec<NormRow> {
+    names
+        .iter()
+        .zip(grid)
+        .map(|(name, row)| NormRow {
+            name: (*name).to_string(),
+            values: row[1..]
+                .iter()
+                .map(|r| r.result.speedup_vs(&row[0].result))
+                .collect(),
+        })
+        .collect()
+}
+
+/// The makers of a named workload list (the grid axis order).
+pub fn makers_of(workloads: &[(&str, Maker)]) -> Vec<Maker> {
+    workloads.iter().map(|(_, m)| m.clone()).collect()
+}
+
+/// The names of a named workload list.
+pub fn names_of<'a>(workloads: &[(&'a str, Maker)]) -> Vec<&'a str> {
+    workloads.iter().map(|(n, _)| *n).collect()
+}
 
 /// One normalised row of a figure: speedups of each configuration against
 /// the per-workload baseline.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NormRow {
     /// Workload name.
     pub name: String,
@@ -122,8 +222,9 @@ pub struct NormRow {
     pub values: Vec<f64>,
 }
 
-/// Sweeps `configs` over `workloads`, normalising the chosen metric against
-/// the first config (the baseline). Returns one row per workload.
+/// Sweeps `configs` over `workloads` on the parallel engine, normalising
+/// the chosen metric against the first config (the baseline). Returns one
+/// row per workload.
 pub fn sweep<F>(
     configs: &[(&str, SystemConfig)],
     workloads: &[(&str, Maker)],
@@ -132,25 +233,16 @@ pub fn sweep<F>(
 where
     F: Fn(&RunWithEnergy, &RunWithEnergy) -> f64,
 {
-    let mut rows = Vec::new();
-    for (wname, make) in workloads {
-        let base = execute(&configs[0].1, make());
-        let mut values = Vec::new();
-        for (_, cfg) in &configs[1..] {
-            let r = execute(cfg, make());
-            values.push(metric(&r, &base));
-        }
-        rows.push(NormRow {
+    let cfg_refs: Vec<&SystemConfig> = configs.iter().map(|(_, c)| c).collect();
+    let grid = run_grid_env(&cfg_refs, &makers_of(workloads));
+    workloads
+        .iter()
+        .zip(&grid)
+        .map(|((wname, _), row)| NormRow {
             name: (*wname).to_string(),
-            values,
-        });
-    }
-    rows
-}
-
-/// Boxes a workload constructor (helper for [`sweep`]).
-pub fn wl<F: Fn() -> Workload + 'static>(f: F) -> Maker {
-    Box::new(f)
+            values: row[1..].iter().map(|r| metric(r, &row[0])).collect(),
+        })
+        .collect()
 }
 
 /// Speedup metric for [`sweep`].
@@ -158,10 +250,33 @@ pub fn speedup_metric(r: &RunWithEnergy, base: &RunWithEnergy) -> f64 {
     r.result.speedup_vs(&base.result)
 }
 
-/// Prints a table of rows (one column per non-baseline config) followed by
-/// a GEOMEAN row.
-pub fn print_norm_table(title: &str, col_names: &[&str], rows: &[NormRow]) {
-    println!("\n== {title} ==");
+/// Runs the per-application speedup table used by Figures 19–21 and 23 on
+/// the parallel engine: each workload under every config, normalised to
+/// the baseline machine.
+pub fn per_app_speedups(
+    apps: &[(&str, Maker)],
+    configs: &[(&str, SystemConfig)],
+) -> Vec<NormRow> {
+    per_app_speedups_with(apps, configs, &RunParams::from_env())
+}
+
+/// [`per_app_speedups`] with an explicit run length.
+pub fn per_app_speedups_with(
+    apps: &[(&str, Maker)],
+    configs: &[(&str, SystemConfig)],
+    params: &RunParams,
+) -> Vec<NormRow> {
+    let base_cfg = baseline();
+    let mut cfg_refs: Vec<&SystemConfig> = vec![&base_cfg];
+    cfg_refs.extend(configs.iter().map(|(_, c)| c));
+    let grid = run_grid(&cfg_refs, &makers_of(apps), params);
+    rows_vs_col0(&names_of(apps), &grid)
+}
+
+/// Renders a table of rows (one column per non-baseline config) followed
+/// by a GEOMEAN row.
+pub fn render_norm_table(title: &str, col_names: &[&str], rows: &[NormRow]) -> String {
+    let mut out = format!("\n== {title} ==\n");
     let mut header = vec!["workload"];
     header.extend(col_names);
     let mut t = Table::new(&header);
@@ -178,7 +293,13 @@ pub fn print_norm_table(title: &str, col_names: &[&str], rows: &[NormRow]) {
         }
         t.row(&cells);
     }
-    print!("{}", t.render());
+    out.push_str(&t.render());
+    out
+}
+
+/// Prints [`render_norm_table`].
+pub fn print_norm_table(title: &str, col_names: &[&str], rows: &[NormRow]) {
+    print!("{}", render_norm_table(title, col_names, rows));
 }
 
 /// Geomean of one column of a row set.
@@ -203,38 +324,24 @@ pub fn zerodev_trio() -> Vec<(&'static str, SystemConfig)> {
     ]
 }
 
-/// Runs the per-application speedup table used by Figures 19–21 and 23:
-/// each workload under every config, normalised to the baseline machine.
-pub fn per_app_speedups(
-    apps: &[(&str, Maker)],
-    configs: &[(&str, SystemConfig)],
-) -> Vec<NormRow> {
-    let base_cfg = baseline();
-    let mut rows = Vec::new();
-    for (name, make) in apps {
-        let b = execute(&base_cfg, make());
-        let values = configs
-            .iter()
-            .map(|(_, cfg)| execute(cfg, make()).result.speedup_vs(&b.result))
-            .collect();
-        rows.push(NormRow {
-            name: (*name).to_string(),
-            values,
-        });
-    }
-    rows
-}
-
-/// Convenience: (name, constructor) pairs for a multi-threaded app list.
-pub fn mt_makers(apps: &[&'static str], cores: usize) -> Vec<(&'static str, Maker)> {
-    apps.iter()
-        .map(|&a| (a, Box::new(move || mt(a, cores)) as Maker))
-        .collect()
-}
-
-/// Convenience: (name, constructor) pairs for 8-copy rate workloads.
-pub fn rate_makers(apps: &[&'static str]) -> Vec<(&'static str, Maker)> {
-    apps.iter()
-        .map(|&a| (a, Box::new(move || rate8(a)) as Maker))
-        .collect()
+/// Prints the sweep-throughput summary `all_figures` reports after the
+/// full reproduction: executed runs, baseline-cache hits, and simulated
+/// cycles per second of real time over `elapsed`. Goes to stderr (like the
+/// per-figure timings) so stdout stays byte-identical across thread counts
+/// and machines.
+pub fn print_sweep_summary(elapsed: Duration) {
+    let s = parallel::summary();
+    eprintln!(
+        "sweep engine: {} threads; {} simulations executed, {} baseline-cache hits",
+        RunParams::from_env().threads,
+        s.runs_executed,
+        s.cache_hits,
+    );
+    eprintln!(
+        "throughput: {:.0}M sim-cycles in {:.1}s wall ({:.1}M sim-cycles/s; worker-busy {:.1}s)",
+        s.sim_cycles as f64 / 1e6,
+        elapsed.as_secs_f64(),
+        s.cycles_per_sec(elapsed) / 1e6,
+        s.busy.as_secs_f64(),
+    );
 }

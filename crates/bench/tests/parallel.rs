@@ -1,0 +1,100 @@
+//! Integration tests for the parallel sweep engine as the figure harnesses
+//! use it: a parallel grid must render tables byte-identical to the serial
+//! path, and repeating a grid must be served from the baseline cache.
+
+use std::sync::{Arc, Mutex};
+use zerodev_bench::{
+    baseline, makers_of, mt_makers, per_app_speedups_with, render_norm_table, run_grid,
+    zerodev_trio,
+};
+use zerodev_common::SystemConfig;
+use zerodev_sim::parallel::{clear_memo_cache, reset_summary, summary};
+use zerodev_sim::runner::RunParams;
+use zerodev_workloads::suites;
+
+/// Both tests reset the process-wide cache and counters, so they must not
+/// overlap.
+static GUARD: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn parallel_tables_match_serial_byte_for_byte() {
+    let _g = lock();
+    let apps = mt_makers(&suites::PARSEC[..4], 8);
+    let trio = zerodev_trio();
+    let cols: Vec<&str> = trio.iter().map(|(n, _)| *n).collect();
+    let serial = RunParams {
+        refs_per_core: 6_000,
+        warmup_refs: 1_000,
+        threads: 1,
+    };
+    let parallel = RunParams {
+        threads: 4,
+        ..serial
+    };
+
+    clear_memo_cache();
+    let rows_serial = per_app_speedups_with(&apps, &trio, &serial);
+    clear_memo_cache();
+    let rows_parallel = per_app_speedups_with(&apps, &trio, &parallel);
+
+    let table_serial = render_norm_table("parity", &cols, &rows_serial);
+    let table_parallel = render_norm_table("parity", &cols, &rows_parallel);
+    assert_eq!(
+        table_serial, table_parallel,
+        "ZERODEV_THREADS=1 and =4 must print identical tables"
+    );
+
+    // The underlying statistics match too, not just the rendered speedups.
+    clear_memo_cache();
+    let base = baseline();
+    let cfgs: Vec<&SystemConfig> = vec![&base];
+    let grid_serial = run_grid(&cfgs, &makers_of(&apps), &serial);
+    clear_memo_cache();
+    let grid_parallel = run_grid(&cfgs, &makers_of(&apps), &parallel);
+    for (s, p) in grid_serial.iter().zip(&grid_parallel) {
+        assert_eq!(s[0].result.completion_cycles, p[0].result.completion_cycles);
+        assert_eq!(
+            s[0].result.stats.core_cache_misses,
+            p[0].result.stats.core_cache_misses
+        );
+        assert_eq!(
+            s[0].result.stats.total_traffic_bytes(),
+            p[0].result.stats.total_traffic_bytes()
+        );
+    }
+}
+
+#[test]
+fn repeated_grids_hit_the_baseline_cache() {
+    let _g = lock();
+    let apps = mt_makers(&suites::PARSEC[..2], 8);
+    let params = RunParams {
+        refs_per_core: 3_000,
+        warmup_refs: 500,
+        threads: 2,
+    };
+    clear_memo_cache();
+    reset_summary();
+    let base = baseline();
+    let cfgs: Vec<&SystemConfig> = vec![&base];
+
+    let first = run_grid(&cfgs, &makers_of(&apps), &params);
+    let after_first = summary();
+    assert_eq!(after_first.runs_executed, apps.len() as u64);
+    assert_eq!(after_first.cache_hits, 0);
+
+    let second = run_grid(&cfgs, &makers_of(&apps), &params);
+    let after_second = summary();
+    assert_eq!(after_second.runs_executed, after_first.runs_executed);
+    assert_eq!(after_second.cache_hits, apps.len() as u64);
+    for (a, b) in first.iter().zip(&second) {
+        assert!(
+            Arc::ptr_eq(&a[0], &b[0]),
+            "cache hit must return the shared result"
+        );
+    }
+}

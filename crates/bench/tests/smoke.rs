@@ -1,0 +1,43 @@
+//! CI smoke test: drives the `all_figures`-critical harness paths in-process
+//! under `ZERODEV_QUICK=1` and holds them to a generous wall-clock budget,
+//! so a regression that makes the sweeps pathologically slow (or breaks a
+//! figure outright) fails fast in CI.
+
+use std::time::{Duration, Instant};
+use zerodev_bench::figures;
+use zerodev_sim::parallel::{reset_summary, summary};
+
+/// A regression here means either a figure panicked or sweep throughput
+/// collapsed; the budget is ~4x slack over the observed quick-mode cost of
+/// an unoptimized (debug) build.
+const BUDGET: Duration = Duration::from_secs(300);
+
+#[test]
+fn quick_figures_complete_within_budget_with_cache_hits() {
+    std::env::set_var("ZERODEV_QUICK", "1");
+    reset_summary();
+    // Representative slice of the figure suite: the config table (no
+    // simulation), a per-app multithreaded sweep, and the big
+    // suite-grouped sparse-ratio sweep that shares baselines with fig03.
+    let wanted = ["fig_table1", "fig03", "fig04"];
+    let t0 = Instant::now();
+    let mut ran = 0;
+    for (name, fig) in figures::ALL {
+        if wanted.contains(name) {
+            fig();
+            ran += 1;
+        }
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(ran, wanted.len(), "every smoke figure must be in figures::ALL");
+    assert!(
+        elapsed < BUDGET,
+        "quick figures took {elapsed:?}, budget {BUDGET:?}"
+    );
+    let s = summary();
+    assert!(s.runs_executed > 0, "figures must execute simulations");
+    assert!(
+        s.cache_hits > 0,
+        "fig03 and fig04 share baselines; the memo cache must serve some"
+    );
+}

@@ -28,6 +28,53 @@ impl<T> Line<T> {
     }
 }
 
+/// Moves `way` to the MRU end of the stack in a single forward pass,
+/// shifting the entries in front of it down one slot; appends it as the
+/// sole shift when absent (a newly filled way). Equivalent to
+/// `remove(pos)` + `insert(0, way)` without the double shift.
+#[inline]
+fn stack_promote(stack: &mut Vec<u8>, way: u8) {
+    let mut prev = way;
+    for slot in stack.iter_mut() {
+        std::mem::swap(slot, &mut prev);
+        if prev == way {
+            return;
+        }
+    }
+    stack.push(prev);
+}
+
+/// Moves `way` (which must be in the stack — every valid way is) to the
+/// LRU end in a single backward pass.
+#[inline]
+fn stack_demote(stack: &mut [u8], way: u8) {
+    let mut prev = way;
+    for slot in stack.iter_mut().rev() {
+        std::mem::swap(slot, &mut prev);
+        if prev == way {
+            return;
+        }
+    }
+    debug_assert!(false, "demoted way {way} was not in the recency stack");
+}
+
+/// Removes `way` from the stack in a single pass (shifting later entries
+/// up); no-op when absent.
+#[inline]
+fn stack_remove(stack: &mut Vec<u8>, way: u8) {
+    let mut found = false;
+    for i in 0..stack.len() {
+        if found {
+            stack[i - 1] = stack[i];
+        } else if stack[i] == way {
+            found = true;
+        }
+    }
+    if found {
+        stack.pop();
+    }
+}
+
 /// A set-associative tagged array with duplicate-tag support.
 ///
 /// Keys are arbitrary `u64` frame identifiers; the low bits index the set and
@@ -44,9 +91,12 @@ pub struct SetAssoc<T> {
     ways: usize,
     lines: Vec<Line<T>>,
     /// Per-set recency stacks: way indices, MRU first. Maintained for both
-    /// policies (NRU victim search ignores it).
+    /// policies (NRU victim search ignores it). Invariant: a set's stack
+    /// holds exactly its valid ways.
     recency: Vec<Vec<u8>>,
     policy: Replacement,
+    /// Count of valid lines (kept so `len` needs no scan).
+    live: usize,
 }
 
 impl<T> SetAssoc<T> {
@@ -68,6 +118,7 @@ impl<T> SetAssoc<T> {
             lines,
             recency: vec![Vec::with_capacity(ways); sets],
             policy,
+            live: 0,
         }
     }
 
@@ -82,13 +133,15 @@ impl<T> SetAssoc<T> {
     }
 
     /// Total valid lines currently held.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.lines.iter().filter(|l| l.valid).count()
+        self.live
     }
 
     /// True when no line is valid.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
     }
 
     #[inline]
@@ -139,11 +192,7 @@ impl<T> SetAssoc<T> {
     }
 
     fn promote(&mut self, set: usize, way: usize) {
-        let stack = &mut self.recency[set];
-        if let Some(pos) = stack.iter().position(|&w| w as usize == way) {
-            stack.remove(pos);
-        }
-        stack.insert(0, way as u8);
+        stack_promote(&mut self.recency[set], way as u8);
         self.line_mut(set, way).nru_referenced = true;
     }
 
@@ -163,11 +212,7 @@ impl<T> SetAssoc<T> {
         let Some(way) = self.find_way(key, pred) else {
             return false;
         };
-        let stack = &mut self.recency[set];
-        if let Some(pos) = stack.iter().position(|&w| w as usize == way) {
-            stack.remove(pos);
-        }
-        stack.push(way as u8);
+        stack_demote(&mut self.recency[set], way as u8);
         self.line_mut(set, way).nru_referenced = false;
         true
     }
@@ -176,10 +221,8 @@ impl<T> SetAssoc<T> {
     pub fn remove(&mut self, key: u64, pred: impl Fn(&T) -> bool) -> Option<T> {
         let set = self.set_of(key);
         let way = self.find_way(key, pred)?;
-        let stack = &mut self.recency[set];
-        if let Some(pos) = stack.iter().position(|&w| w as usize == way) {
-            stack.remove(pos);
-        }
+        stack_remove(&mut self.recency[set], way as u8);
+        self.live -= 1;
         let line = self.line_mut(set, way);
         line.valid = false;
         line.nru_referenced = false;
@@ -251,10 +294,8 @@ impl<T> SetAssoc<T> {
             None => {
                 let w = self.pick_victim_way(set, protected);
                 let victim_key = self.key_of(set, self.line(set, w).tag);
-                let stack = &mut self.recency[set];
-                if let Some(pos) = stack.iter().position(|&x| x as usize == w) {
-                    stack.remove(pos);
-                }
+                stack_remove(&mut self.recency[set], w as u8);
+                self.live -= 1;
                 let line = self.line_mut(set, w);
                 line.valid = false;
                 let payload = line.data.take().expect("valid line has data");
@@ -265,6 +306,7 @@ impl<T> SetAssoc<T> {
         line.tag = tag;
         line.valid = true;
         line.data = Some(data);
+        self.live += 1;
         self.promote(set, way);
         evicted
     }
@@ -283,6 +325,7 @@ impl<T> SetAssoc<T> {
                 line.tag = tag;
                 line.valid = true;
                 line.data = Some(data);
+                self.live += 1;
                 self.promote(set, way);
                 Ok(())
             }
@@ -321,10 +364,11 @@ impl<T> SetAssoc<T> {
         })
     }
 
-    /// Number of valid lines in the set containing `key`.
+    /// Number of valid lines in the set containing `key` (the recency
+    /// stack holds exactly the valid ways, so no scan is needed).
+    #[inline]
     pub fn set_len(&self, key: u64) -> usize {
-        let set = self.set_of(key);
-        (0..self.ways).filter(|&w| self.line(set, w).valid).count()
+        self.recency[self.set_of(key)].len()
     }
 }
 
@@ -469,6 +513,25 @@ mod tests {
         let mut keys: Vec<u64> = c.iter().map(|(k, _)| k).collect();
         keys.sort_unstable();
         assert_eq!(keys, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn len_and_set_len_track_churn() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(2, 2, Replacement::Lru);
+        assert_eq!(c.len(), 0);
+        c.insert(0, 0, none);
+        c.insert(2, 2, none); // set 0
+        c.insert(1, 1, none); // set 1
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.set_len(0), 2);
+        assert!(c.insert(4, 4, none).is_some(), "set 0 full, evicts");
+        assert_eq!(c.len(), 3, "eviction keeps the count stable");
+        assert_eq!(c.set_len(0), 2);
+        assert_eq!(c.remove(1, any), Some(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.set_len(1), 0);
+        assert!(c.insert_no_evict(3, 3).is_ok());
+        assert_eq!(c.len(), 3);
     }
 
     #[test]

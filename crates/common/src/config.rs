@@ -615,6 +615,23 @@ impl SystemConfig {
         Ok(())
     }
 
+    /// A stable 64-bit fingerprint covering every configuration field,
+    /// used by the parallel experiment engine as part of its baseline
+    /// memoization key: two configs share a fingerprint exactly when they
+    /// would produce identical simulations.
+    ///
+    /// Computed as FNV-1a over the canonical `Debug` rendering, which
+    /// includes every field (and every field of nested enums/structs), so
+    /// new knobs are picked up automatically. No field is floating-point,
+    /// so the rendering is exact.
+    pub fn fingerprint(&self) -> u64 {
+        format!("{self:?}")
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325_u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            })
+    }
+
     /// Renders the configuration as a human-readable multi-line summary
     /// (the `fig_table1` harness prints this as the Table I reproduction).
     pub fn describe(&self) -> String {
@@ -829,6 +846,28 @@ mod tests {
         assert_eq!(g.private_sets * g.private_ways * 8, 1792);
         let s = SecDirGeometry::server_eighth();
         assert_eq!(s.private_sets, 1); // fully associative
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = SystemConfig::baseline_8core();
+        let b = SystemConfig::baseline_8core();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Every kind of edit must change the fingerprint.
+        let mut c = SystemConfig::baseline_8core();
+        c.cores = 4;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = SystemConfig::baseline_8core().with_sparse_dir(Ratio::new(1, 8));
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        let e = SystemConfig::baseline_8core()
+            .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        assert_ne!(a.fingerprint(), e.fingerprint());
+        let mut f = SystemConfig::baseline_8core();
+        f.llc_design = LlcDesign::Inclusive;
+        assert_ne!(a.fingerprint(), f.fingerprint());
+        let mut g = SystemConfig::baseline_8core();
+        g.dram.t_cas = 15;
+        assert_ne!(a.fingerprint(), g.fingerprint());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   sparse-directory + LLC energy comparison (§V).
 //! * [`runner`] — one-call experiment execution: run a workload on a
 //!   config, normalise against a baseline.
+//! * [`parallel`] — the sweep engine: executes a (config × workload) grid
+//!   across a scoped worker pool with deterministic result ordering and a
+//!   process-wide baseline memoization cache.
 //!
 //! # Example
 //!
@@ -21,14 +24,16 @@
 //!
 //! let cfg = SystemConfig::baseline_8core();
 //! let wl = multithreaded("swaptions", 8, 1).unwrap();
-//! let res = run(&cfg, wl, &RunParams { refs_per_core: 2_000, warmup_refs: 200 });
+//! let res = run(&cfg, wl, &RunParams { refs_per_core: 2_000, warmup_refs: 200, ..Default::default() });
 //! assert!(res.completion_cycles > 0);
 //! ```
 
 pub mod core_model;
 pub mod energy;
 pub mod engine;
+pub mod parallel;
 pub mod runner;
 
 pub use engine::{SimResult, Simulation};
+pub use parallel::{Engine, JobOutcome, RunJob, WorkloadMaker};
 pub use runner::{run, RunParams};

@@ -1,0 +1,364 @@
+//! The parallel sweep engine: executes a (config × workload) grid across a
+//! scoped worker pool with deterministic result ordering and a process-wide
+//! baseline memoization cache.
+//!
+//! Every [`crate::engine::Simulation`] run is fully deterministic and
+//! self-contained, so a figure's grid of runs is embarrassingly parallel:
+//! the engine only has to preserve *result ordering*, not execution
+//! ordering, for the printed tables to come out bit-identical to the serial
+//! harness. Jobs are pulled from a shared queue by `threads` scoped workers
+//! and each result lands in the slot of its job index; callers then consume
+//! the slots in submission order.
+//!
+//! Runs are additionally memoized in a process-wide cache keyed by
+//! `(SystemConfig fingerprint, workload name, seed, run length)`. The
+//! figure harnesses re-run the identical baseline simulation for every
+//! figure that shares it (Figures 19–21 and 23 alone sweep the same
+//! baseline over the same applications four times); with `all_figures`
+//! executing every figure in one process, each baseline is computed once
+//! and every later figure gets a cache hit.
+//!
+//! Thread count comes from [`RunParams::threads`] (`ZERODEV_THREADS` in the
+//! environment; default = available parallelism). `threads == 1` takes an
+//! exact serial path that spawns nothing.
+
+use crate::runner::{run, RunParams, RunWithEnergy};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+use zerodev_common::SystemConfig;
+use zerodev_workloads::Workload;
+
+/// A shareable workload constructor. Workloads are consumed per run, so
+/// jobs carry factories; `Send + Sync` lets any worker build the workload.
+pub type WorkloadMaker = Arc<dyn Fn() -> Workload + Send + Sync>;
+
+/// One simulation to execute: a machine, a workload factory, and a run
+/// length.
+#[derive(Clone)]
+pub struct RunJob {
+    /// The machine to simulate.
+    pub cfg: SystemConfig,
+    /// Builds the workload (called on the worker that runs the job).
+    pub make: WorkloadMaker,
+    /// Run length (the `threads` field is ignored per job).
+    pub params: RunParams,
+    /// The seed the workload factory closes over; part of the memo key.
+    pub seed: u64,
+    /// Whether this run may be served from / stored into the memo cache.
+    pub memo: bool,
+}
+
+impl RunJob {
+    /// A memoized job (the default; every harness run is deterministic).
+    pub fn new(cfg: SystemConfig, make: WorkloadMaker, params: RunParams, seed: u64) -> Self {
+        RunJob {
+            cfg,
+            make,
+            params,
+            seed,
+            memo: true,
+        }
+    }
+}
+
+/// The result slot of one job: the run, its wall-clock, and whether it was
+/// served from the memo cache.
+#[derive(Clone)]
+pub struct JobOutcome {
+    /// The (possibly shared) run result.
+    pub run: Arc<RunWithEnergy>,
+    /// Wall-clock time this job took on its worker.
+    pub wall: Duration,
+    /// True when the result came from the memoization cache.
+    pub cache_hit: bool,
+}
+
+/// The memoization key: everything that determines a run's result.
+/// `RunParams::threads` is deliberately excluded — it cannot affect results.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct MemoKey {
+    fingerprint: u64,
+    workload: String,
+    seed: u64,
+    refs_per_core: u64,
+    warmup_refs: u64,
+}
+
+/// One cache slot. The per-key mutex makes memoization race-free under the
+/// worker pool: the first worker to claim a key holds its entry lock while
+/// simulating, so a concurrent duplicate blocks and then reads the finished
+/// result as a cache hit instead of recomputing it.
+type MemoEntry = Arc<Mutex<Option<Arc<RunWithEnergy>>>>;
+
+fn memo_cache() -> &'static Mutex<HashMap<MemoKey, MemoEntry>> {
+    static CACHE: OnceLock<Mutex<HashMap<MemoKey, MemoEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Aggregate sweep accounting since process start (or the last
+/// [`reset_summary`]), across every grid run by every [`Engine`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SweepSummary {
+    /// Simulations actually executed.
+    pub runs_executed: u64,
+    /// Jobs served from the memoization cache.
+    pub cache_hits: u64,
+    /// Total simulated cycles across executed runs (`completion_cycles`).
+    pub sim_cycles: u64,
+    /// Summed per-job wall-clock of executed runs (CPU-side busy time; with
+    /// N workers this exceeds elapsed wall-clock by up to N×).
+    pub busy: Duration,
+}
+
+impl SweepSummary {
+    /// Simulated cycles per second of real time, given the caller's
+    /// elapsed wall-clock (the caller knows the true elapsed span; `busy`
+    /// here is summed across workers).
+    pub fn cycles_per_sec(&self, elapsed: Duration) -> f64 {
+        self.sim_cycles as f64 / elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn summary_cell() -> &'static Mutex<SweepSummary> {
+    static SUMMARY: OnceLock<Mutex<SweepSummary>> = OnceLock::new();
+    SUMMARY.get_or_init(|| Mutex::new(SweepSummary::default()))
+}
+
+/// Snapshot of the process-wide sweep accounting.
+pub fn summary() -> SweepSummary {
+    *summary_cell().lock().expect("summary lock")
+}
+
+/// Resets the process-wide sweep accounting (test isolation).
+pub fn reset_summary() {
+    *summary_cell().lock().expect("summary lock") = SweepSummary::default();
+}
+
+/// Empties the memoization cache (test isolation / memory reclamation).
+pub fn clear_memo_cache() {
+    memo_cache().lock().expect("memo lock").clear();
+}
+
+fn record(executed: bool, sim_cycles: u64, wall: Duration) {
+    let mut s = summary_cell().lock().expect("summary lock");
+    if executed {
+        s.runs_executed += 1;
+        s.sim_cycles += sim_cycles;
+        s.busy += wall;
+    } else {
+        s.cache_hits += 1;
+    }
+}
+
+/// Runs one job: build the workload, consult the cache, simulate on a miss.
+fn execute_job(job: &RunJob) -> JobOutcome {
+    let t0 = Instant::now();
+    let workload = (job.make)();
+    let key = job.memo.then(|| MemoKey {
+        fingerprint: job.cfg.fingerprint(),
+        workload: workload.name.clone(),
+        seed: job.seed,
+        refs_per_core: job.params.refs_per_core,
+        warmup_refs: job.params.warmup_refs,
+    });
+    if let Some(k) = key {
+        let entry: MemoEntry = memo_cache()
+            .lock()
+            .expect("memo lock")
+            .entry(k)
+            .or_default()
+            .clone();
+        let mut slot = entry.lock().expect("memo entry lock");
+        if let Some(run) = slot.clone() {
+            drop(slot);
+            let wall = t0.elapsed();
+            record(false, 0, wall);
+            return JobOutcome {
+                run,
+                wall,
+                cache_hit: true,
+            };
+        }
+        // First claimant: simulate while holding the entry lock so a
+        // concurrent duplicate waits for this result instead of redoing it.
+        let result = Arc::new(run(&job.cfg, workload, &job.params));
+        *slot = Some(result.clone());
+        drop(slot);
+        let wall = t0.elapsed();
+        record(true, result.result.completion_cycles, wall);
+        return JobOutcome {
+            run: result,
+            wall,
+            cache_hit: false,
+        };
+    }
+    let result = Arc::new(run(&job.cfg, workload, &job.params));
+    let wall = t0.elapsed();
+    record(true, result.result.completion_cycles, wall);
+    JobOutcome {
+        run: result,
+        wall,
+        cache_hit: false,
+    }
+}
+
+/// The sweep engine: a fixed worker count and a `run_grid` entry point.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: threads.max(1),
+        }
+    }
+
+    /// An engine sized by the environment (`ZERODEV_THREADS`, default =
+    /// available parallelism) via [`RunParams::from_env`].
+    pub fn from_env() -> Self {
+        Engine::new(RunParams::from_env().threads)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every job and returns one outcome per job, **in job
+    /// order** regardless of which worker finished when — callers printing
+    /// tables from the outcomes produce output bit-identical to a serial
+    /// run. With one thread (or one job) this is the exact serial path:
+    /// jobs run in order on the calling thread and nothing is spawned.
+    pub fn run_grid(&self, jobs: &[RunJob]) -> Vec<JobOutcome> {
+        if self.threads == 1 || jobs.len() <= 1 {
+            return jobs.iter().map(execute_job).collect();
+        }
+        let slots: Vec<OnceLock<JobOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(jobs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    slots[i]
+                        .set(execute_job(job))
+                        .unwrap_or_else(|_| unreachable!("slot {i} filled twice"));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zerodev_workloads::multithreaded;
+
+    /// Serializes tests in this module: every job execution bumps the
+    /// process-wide sweep summary, so tests asserting exact counter deltas
+    /// must not overlap with other job-running tests.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        GUARD.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn quick() -> RunParams {
+        RunParams {
+            refs_per_core: 2_000,
+            warmup_refs: 200,
+            ..Default::default()
+        }
+    }
+
+    fn job(app: &'static str, seed: u64, memo: bool) -> RunJob {
+        RunJob {
+            cfg: SystemConfig::baseline_8core(),
+            make: Arc::new(move || multithreaded(app, 8, seed).unwrap()),
+            params: quick(),
+            seed,
+            memo,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_and_preserves_order() {
+        let _g = lock();
+        let apps = ["ferret", "swaptions", "canneal", "vips", "streamcluster"];
+        let jobs: Vec<RunJob> = apps.iter().map(|&a| job(a, 0xbeef, false)).collect();
+        let serial = Engine::new(1).run_grid(&jobs);
+        let parallel = Engine::new(4).run_grid(&jobs);
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(s.run.result.name, apps[i], "slot order preserved");
+            assert_eq!(p.run.result.name, apps[i], "slot order preserved");
+            assert_eq!(
+                s.run.result.completion_cycles,
+                p.run.result.completion_cycles
+            );
+            assert_eq!(
+                s.run.result.stats.core_cache_misses,
+                p.run.result.stats.core_cache_misses
+            );
+            assert_eq!(
+                s.run.result.stats.total_traffic_bytes(),
+                p.run.result.stats.total_traffic_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_jobs_hit_the_cache() {
+        let _g = lock();
+        // A seed no other test uses keeps this isolated from the shared
+        // process-wide cache.
+        let seed = 0x51ee_d00d_0001;
+        let jobs = vec![job("blackscholes", seed, true), job("blackscholes", seed, true)];
+        let outs = Engine::new(1).run_grid(&jobs);
+        assert!(!outs[0].cache_hit);
+        assert!(outs[1].cache_hit);
+        assert!(Arc::ptr_eq(&outs[0].run, &outs[1].run));
+        // A different config misses.
+        let mut other = job("blackscholes", seed, true);
+        other.cfg.l2_hit_cycles += 1;
+        let out = Engine::new(1).run_grid(std::slice::from_ref(&other));
+        assert!(!out[0].cache_hit);
+    }
+
+    #[test]
+    fn summary_counts_runs_and_hits() {
+        let _g = lock();
+        let seed = 0x51ee_d00d_0002;
+        let before = summary();
+        let jobs = vec![job("fluidanimate", seed, true), job("fluidanimate", seed, true)];
+        let _ = Engine::new(2).run_grid(&jobs);
+        let after = summary();
+        assert_eq!(after.runs_executed - before.runs_executed, 1);
+        assert_eq!(after.cache_hits - before.cache_hits, 1);
+        assert!(after.sim_cycles > before.sim_cycles);
+    }
+
+    #[test]
+    fn unmemoized_jobs_recompute() {
+        let _g = lock();
+        let seed = 0x51ee_d00d_0003;
+        let jobs = vec![job("dedup", seed, false), job("dedup", seed, false)];
+        let outs = Engine::new(2).run_grid(&jobs);
+        assert!(!outs[0].cache_hit && !outs[1].cache_hit);
+        assert!(!Arc::ptr_eq(&outs[0].run, &outs[1].run));
+        assert_eq!(
+            outs[0].run.result.completion_cycles,
+            outs[1].run.result.completion_cycles,
+            "deterministic recompute"
+        );
+    }
+}

@@ -12,6 +12,18 @@ pub struct RunParams {
     pub refs_per_core: u64,
     /// References each core executes to warm caches before measurement.
     pub warmup_refs: u64,
+    /// Worker threads used by the parallel sweep engine
+    /// ([`crate::parallel::Engine`]) for (config × workload) grids.
+    /// `1` selects the exact serial path (no threads are spawned).
+    /// Has no effect on simulation results — every run is deterministic.
+    pub threads: usize,
+}
+
+/// Worker count used when `ZERODEV_THREADS` is unset: all available cores.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 impl Default for RunParams {
@@ -21,6 +33,7 @@ impl Default for RunParams {
         RunParams {
             refs_per_core: 100_000,
             warmup_refs: 25_000,
+            threads: default_threads(),
         }
     }
 }
@@ -31,16 +44,25 @@ impl RunParams {
         RunParams {
             refs_per_core: 8_000,
             warmup_refs: 2_000,
+            ..Default::default()
         }
     }
 
-    /// Reads `ZERODEV_QUICK=1` to switch every harness to the quick profile.
+    /// Reads `ZERODEV_QUICK=1` to switch every harness to the quick profile
+    /// and `ZERODEV_THREADS=N` to set the sweep worker count (`1` = serial).
     pub fn from_env() -> Self {
-        if std::env::var("ZERODEV_QUICK").is_ok_and(|v| v == "1") {
+        let mut p = if std::env::var("ZERODEV_QUICK").is_ok_and(|v| v == "1") {
             Self::quick()
         } else {
             Self::default()
+        };
+        if let Some(n) = std::env::var("ZERODEV_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            p.threads = n.max(1);
         }
+        p
     }
 }
 

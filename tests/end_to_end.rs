@@ -7,6 +7,7 @@ fn quick() -> RunParams {
     RunParams {
         refs_per_core: 12_000,
         warmup_refs: 4_000,
+        ..Default::default()
     }
 }
 
@@ -162,6 +163,7 @@ fn server_machine_runs_all_server_workloads() {
     let params = RunParams {
         refs_per_core: 1_500,
         warmup_refs: 300,
+        ..Default::default()
     };
     for app in suites::SERVER {
         let r = run(&cfg, server(app, 128, 19).unwrap(), &params);

@@ -1,12 +1,14 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! protocol's headline invariants.
+//! Randomised-but-deterministic property tests over the core data
+//! structures and the protocol's headline invariants. Stimulus comes from
+//! the repo's own `Prng` (fixed seed sweeps), so the suite needs no
+//! external crates and every failure reproduces exactly.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use zerodev::cache::{Replacement, SetAssoc};
 use zerodev::common::ids::SharerSet;
 use zerodev::common::rng::Zipf;
 use zerodev::common::table::geomean;
+use zerodev::common::Prng;
 use zerodev::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -69,25 +71,27 @@ enum CacheOp {
     Remove(u64),
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    prop_oneof![
-        (0u64..64).prop_map(CacheOp::Touch),
-        ((0u64..64), any::<u32>()).prop_map(|(k, v)| CacheOp::Insert(k, v)),
-        (0u64..64).prop_map(CacheOp::Remove),
-    ]
+fn random_op(rng: &mut Prng) -> CacheOp {
+    match rng.below(3) {
+        0 => CacheOp::Touch(rng.below(64)),
+        1 => CacheOp::Insert(rng.below(64), rng.next_u64() as u32),
+        _ => CacheOp::Remove(rng.below(64)),
+    }
 }
 
-proptest! {
-    #[test]
-    fn setassoc_matches_reference_lru(ops in prop::collection::vec(cache_op(), 1..300)) {
+#[test]
+fn setassoc_matches_reference_lru() {
+    for seed in 0..32u64 {
+        let mut rng = Prng::seeded(0x1e57_0001 ^ seed);
+        let ops = 1 + rng.below(299);
         let mut c: SetAssoc<u32> = SetAssoc::new(4, 3, Replacement::Lru);
         let mut r = RefLru::new(4, 3);
-        for op in ops {
-            match op {
+        for _ in 0..ops {
+            match random_op(&mut rng) {
                 CacheOp::Touch(k) => {
                     let a = c.touch(k, |_| true).map(|v| *v);
                     let b = r.touch(k);
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b, "seed {seed}");
                 }
                 CacheOp::Insert(k, v) => {
                     // SetAssoc::insert always inserts a NEW line; emulate the
@@ -99,121 +103,146 @@ proptest! {
                     }
                     let a = c.insert(k, v, |_| false);
                     let b = r.insert(k, v);
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b, "seed {seed}");
                 }
                 CacheOp::Remove(k) => {
                     let a = c.remove(k, |_| true);
                     let b = r.remove(k);
-                    prop_assert_eq!(a, b);
+                    assert_eq!(a, b, "seed {seed}");
                 }
             }
-            prop_assert_eq!(c.len(), r.data.iter().map(Vec::len).sum::<usize>());
+            assert_eq!(c.len(), r.data.iter().map(Vec::len).sum::<usize>());
         }
     }
+}
 
-    #[test]
-    fn setassoc_no_duplicate_unique_keys(ops in prop::collection::vec(cache_op(), 1..200)) {
+#[test]
+fn setassoc_no_duplicate_unique_keys() {
+    for seed in 0..32u64 {
+        let mut rng = Prng::seeded(0x1e57_0002 ^ seed);
+        let ops = 1 + rng.below(199);
         let mut c: SetAssoc<u32> = SetAssoc::new(8, 2, Replacement::Nru);
-        for op in ops {
-            match op {
-                CacheOp::Touch(k) => { let _ = c.touch(k, |_| true); }
+        for _ in 0..ops {
+            match random_op(&mut rng) {
+                CacheOp::Touch(k) => {
+                    let _ = c.touch(k, |_| true);
+                }
                 CacheOp::Insert(k, v) => {
                     if c.peek(k, |_| true).is_none() {
                         let _ = c.insert(k, v, |_| false);
                     }
                 }
-                CacheOp::Remove(k) => { let _ = c.remove(k, |_| true); }
+                CacheOp::Remove(k) => {
+                    let _ = c.remove(k, |_| true);
+                }
             }
         }
         let mut seen = std::collections::HashSet::new();
         for (k, _) in c.iter() {
-            prop_assert!(seen.insert(k), "duplicate key {} in array", k);
+            assert!(seen.insert(k), "duplicate key {k} in array (seed {seed})");
         }
     }
+}
 
-    #[test]
-    fn protected_lines_survive_any_pressure(
-        keys in prop::collection::vec(0u64..256, 1..200)
-    ) {
-        // One protected line per set must never be evicted while any
-        // unprotected line exists in the set (the dataLRU guarantee).
+#[test]
+fn protected_lines_survive_any_pressure() {
+    // One protected line per set must never be evicted while any
+    // unprotected line exists in the set (the dataLRU guarantee).
+    for seed in 0..16u64 {
+        let mut rng = Prng::seeded(0x1e57_0003 ^ seed);
+        let nkeys = 1 + rng.below(199);
         let mut c: SetAssoc<bool> = SetAssoc::new(4, 4, Replacement::Lru);
         for s in 0..4u64 {
             let _ = c.insert(s, true, |_| false); // protected marker lines
         }
-        for k in keys {
+        for _ in 0..nkeys {
+            let k = rng.below(256);
             let key = 4 + k * 4 + (k % 4); // spread over sets, never key<4
             if c.peek(key, |_| true).is_none() {
                 if let Some((_vk, vline)) = c.insert(key, false, |v| *v) {
-                    prop_assert!(!vline, "protected line evicted under pressure");
+                    assert!(!vline, "protected line evicted under pressure (seed {seed})");
                 }
             }
         }
         for s in 0..4u64 {
-            prop_assert_eq!(c.peek(s, |_| true), Some(&true));
+            assert_eq!(c.peek(s, |_| true), Some(&true));
         }
     }
+}
 
-    // ---------------------------------------------------------------------
-    // SharerSet against a HashSet reference
-    // ---------------------------------------------------------------------
+// ---------------------------------------------------------------------
+// SharerSet against a HashSet reference
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn sharer_set_matches_hashset(ops in prop::collection::vec((0u16..128, any::<bool>()), 0..200)) {
+#[test]
+fn sharer_set_matches_hashset() {
+    for seed in 0..32u64 {
+        let mut rng = Prng::seeded(0x1e57_0004 ^ seed);
+        let ops = rng.below(200);
         let mut s = SharerSet::default();
         let mut r = std::collections::HashSet::new();
-        for (core, add) in ops {
-            if add {
+        for _ in 0..ops {
+            let core = rng.below(128) as u16;
+            if rng.chance(0.5) {
                 s.insert(CoreId(core));
                 r.insert(core);
             } else {
                 s.remove(CoreId(core));
                 r.remove(&core);
             }
-            prop_assert_eq!(s.count() as usize, r.len());
+            assert_eq!(s.count() as usize, r.len());
         }
         let collected: Vec<u16> = s.iter().map(|c| c.0).collect();
         let mut expected: Vec<u16> = r.into_iter().collect();
         expected.sort_unstable();
-        prop_assert_eq!(collected, expected);
+        assert_eq!(collected, expected, "seed {seed}");
     }
+}
 
-    // ---------------------------------------------------------------------
-    // RNG / math helpers
-    // ---------------------------------------------------------------------
+// ---------------------------------------------------------------------
+// RNG / math helpers
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn zipf_samples_in_range(n in 1u64..100_000, theta in 0.0f64..0.99, seed in any::<u64>()) {
+#[test]
+fn zipf_samples_in_range() {
+    for seed in 0..24u64 {
+        let mut rng = Prng::seeded(0x1e57_0005 ^ seed);
+        let n = 1 + rng.below(99_999);
+        let theta = rng.unit_f64() * 0.99;
         let z = Zipf::new(n, theta);
-        let mut rng = zerodev::common::Prng::seeded(seed);
         for _ in 0..64 {
-            prop_assert!(z.sample(&mut rng) < n);
+            assert!(z.sample(&mut rng) < n, "seed {seed} n {n} theta {theta}");
         }
     }
+}
 
-    #[test]
-    fn geomean_between_min_and_max(values in prop::collection::vec(0.01f64..100.0, 1..20)) {
+#[test]
+fn geomean_between_min_and_max() {
+    for seed in 0..32u64 {
+        let mut rng = Prng::seeded(0x1e57_0006 ^ seed);
+        let len = 1 + rng.below(19) as usize;
+        let values: Vec<f64> = (0..len).map(|_| 0.01 + rng.unit_f64() * 99.99).collect();
         let g = geomean(&values);
         let min = values.iter().copied().fold(f64::INFINITY, f64::min);
         let max = values.iter().copied().fold(0.0f64, f64::max);
-        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+        assert!(g >= min * 0.999 && g <= max * 1.001, "seed {seed}");
     }
+}
 
-    // ---------------------------------------------------------------------
-    // Protocol invariants under random stimulus
-    // ---------------------------------------------------------------------
+// ---------------------------------------------------------------------
+// Protocol invariants under random stimulus
+// ---------------------------------------------------------------------
 
-    #[test]
-    fn zerodev_never_devs_under_random_traffic(
-        seed in any::<u64>(),
-        policy_idx in 0usize..3,
-        ops in 200usize..600,
-    ) {
+#[test]
+fn zerodev_never_devs_under_random_traffic() {
+    for seed in 0..12u64 {
         let policy = [
             SpillPolicy::SpillAll,
             SpillPolicy::FusePrivateSpillShared,
             SpillPolicy::FuseAll,
-        ][policy_idx];
+        ][(seed % 3) as usize];
+        let mut rng = Prng::seeded(0x1e57_0007 ^ seed);
+        let ops = 200 + rng.below(400);
         let mut cfg = SystemConfig::baseline_8core();
         cfg.cores = 4;
         cfg.l1i = zerodev::common::config::CacheGeometry::new(2 << 10, 2);
@@ -222,11 +251,14 @@ proptest! {
         cfg.llc = zerodev::common::config::CacheGeometry::new(16 << 10, 4);
         cfg.llc_banks = 2;
         let cfg = cfg.with_zerodev(
-            ZeroDevConfig { policy, llc_replacement: LlcReplacement::DataLru, ..Default::default() },
+            ZeroDevConfig {
+                policy,
+                llc_replacement: LlcReplacement::DataLru,
+                ..Default::default()
+            },
             DirectoryKind::None,
         );
         let mut sys = System::new(cfg).unwrap();
-        let mut rng = zerodev::common::Prng::seeded(seed);
         // A tiny legal driver: track private states, honour the contract.
         let mut lines: HashMap<(u16, u64), MesiState> = HashMap::new();
         for _ in 0..ops {
@@ -280,7 +312,10 @@ proptest! {
                 }
                 lines.insert((c, b.0), grant);
             }
-            prop_assert_eq!(sys.stats.dev_invalidations, 0, "{:?} produced a DEV", policy);
+            assert_eq!(
+                sys.stats.dev_invalidations, 0,
+                "{policy:?} produced a DEV (seed {seed})"
+            );
         }
         sys.check_invariants();
     }

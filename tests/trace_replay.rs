@@ -8,6 +8,7 @@ fn params() -> RunParams {
     RunParams {
         refs_per_core: 3_000,
         warmup_refs: 0,
+        ..Default::default()
     }
 }
 
@@ -84,6 +85,7 @@ fn hand_written_trace_drives_the_machine() {
         &RunParams {
             refs_per_core: 100,
             warmup_refs: 0,
+            ..Default::default()
         },
     );
     assert!(r.completion_cycles > 0);
