@@ -100,8 +100,8 @@ fn bench_protocol() {
 fn bench_multisocket() {
     group("multisocket");
     bench_function("protocol_access/four_socket_zerodev", |b| {
-        let cfg = SystemConfig::four_socket()
-            .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        let cfg =
+            SystemConfig::four_socket().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
         let mut sys = System::new(cfg).unwrap();
         let mut rng = Prng::seeded(11);
         let mut i = 0u64;

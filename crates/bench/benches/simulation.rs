@@ -19,8 +19,8 @@ fn bench_simulation() {
     };
     let mut epd = SystemConfig::baseline_8core();
     epd.llc_design = LlcDesign::Epd;
-    let mut incl = SystemConfig::baseline_8core()
-        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let mut incl =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
     incl.llc_design = LlcDesign::Inclusive;
     let configs: Vec<(&str, SystemConfig)> = vec![
         ("baseline", SystemConfig::baseline_8core()),

@@ -16,8 +16,8 @@ pub fn run() {
         let (mut traf, mut miss, mut spd) = (Vec::new(), Vec::new(), Vec::new());
         for ((app, _), row) in workloads.iter().zip(&grid) {
             let (b, u) = (&row[0], &row[1]);
-            let tr = u.stats.total_traffic_bytes() as f64
-                / b.stats.total_traffic_bytes().max(1) as f64;
+            let tr =
+                u.stats.total_traffic_bytes() as f64 / b.stats.total_traffic_bytes().max(1) as f64;
             let mr = u.stats.core_cache_misses as f64 / b.stats.core_cache_misses.max(1) as f64;
             let sp = u.result.speedup_vs(&b.result);
             if suite == "PARSEC" {

@@ -18,10 +18,20 @@ fn reduced_llc(ways: usize) -> SystemConfig {
 
 pub fn run() {
     let base_cfg = baseline();
-    let reduced: Vec<SystemConfig> = [15usize, 14, 13, 12].iter().map(|&w| reduced_llc(w)).collect();
+    let reduced: Vec<SystemConfig> = [15usize, 14, 13, 12]
+        .iter()
+        .map(|&w| reduced_llc(w))
+        .collect();
     let mut cfg_refs: Vec<&SystemConfig> = vec![&base_cfg];
     cfg_refs.extend(reduced.iter());
-    let mut t = Table::new(&["suite", "15 ways", "14 ways", "13 ways", "12 ways", "worst app @12"]);
+    let mut t = Table::new(&[
+        "suite",
+        "15 ways",
+        "14 ways",
+        "13 ways",
+        "12 ways",
+        "worst app @12",
+    ]);
     for (suite, workloads) in suite_groups_mt_rate() {
         let grid = run_grid_env(&cfg_refs, &makers_of(&workloads));
         let mut cells = vec![suite.to_string()];

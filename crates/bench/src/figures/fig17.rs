@@ -22,7 +22,13 @@ pub fn run() {
     .collect();
     let mut cfg_refs: Vec<&SystemConfig> = vec![&base_cfg];
     cfg_refs.extend(policies.iter());
-    let mut t = Table::new(&["suite", "SpillAll", "FPSS", "FuseAll", "min(SpillAll/FPSS/FuseAll)"]);
+    let mut t = Table::new(&[
+        "suite",
+        "SpillAll",
+        "FPSS",
+        "FuseAll",
+        "min(SpillAll/FPSS/FuseAll)",
+    ]);
     for (suite, workloads) in suite_groups_mt_rate() {
         let grid = run_grid_env(&cfg_refs, &makers_of(&workloads));
         let mut cells = vec![suite.to_string()];

@@ -32,7 +32,10 @@ pub fn run() {
     ];
     let mut cfg_refs: Vec<&SystemConfig> = vec![&base_cfg];
     cfg_refs.extend(configs.iter());
-    let makers: Vec<Maker> = suites::SERVER.iter().map(|&a| wl(move || mt(a, 128))).collect();
+    let makers: Vec<Maker> = suites::SERVER
+        .iter()
+        .map(|&a| wl(move || mt(a, 128)))
+        .collect();
     let grid = run_grid(&cfg_refs, &makers, &server_params());
     let rows = rows_vs_col0(&suites::SERVER, &grid);
     print_norm_table(

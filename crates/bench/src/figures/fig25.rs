@@ -7,9 +7,7 @@
 //! CPU-RATE and CPU-HET are subsampled (every third workload) to keep the
 //! sweep tractable; the suite averages are stable under the subsample.
 
-use crate::{
-    baseline, mt, mt_suites, rate8, run_grid, server_params, wl, Maker, SEED,
-};
+use crate::{baseline, mt, mt_suites, rate8, run_grid, server_params, wl, Maker, SEED};
 use zerodev_common::config::{DirectoryKind, LlcDesign, Ratio, ZeroDevConfig};
 use zerodev_common::table::{geomean, Table};
 use zerodev_common::SystemConfig;
@@ -37,11 +35,17 @@ fn configs_for(server: bool) -> Vec<(&'static str, SystemConfig)> {
         ("BaseEPD+1x", with_design(base.clone(), LlcDesign::Epd)),
         (
             "BaseEPD+1/2x",
-            with_design(base.clone().with_sparse_dir(Ratio::new(1, 2)), LlcDesign::Epd),
+            with_design(
+                base.clone().with_sparse_dir(Ratio::new(1, 2)),
+                LlcDesign::Epd,
+            ),
         ),
         (
             "BaseEPD+1/8x",
-            with_design(base.clone().with_sparse_dir(Ratio::new(1, 8)), LlcDesign::Epd),
+            with_design(
+                base.clone().with_sparse_dir(Ratio::new(1, 8)),
+                LlcDesign::Epd,
+            ),
         ),
         (
             "ZDEPD+NoDir",
@@ -49,7 +53,10 @@ fn configs_for(server: bool) -> Vec<(&'static str, SystemConfig)> {
         ),
         ("ZDEPD+1/2x", with_design(zd(sp(1, 2)), LlcDesign::Epd)),
         ("ZDEPD+1x", with_design(zd(sp(1, 1)), LlcDesign::Epd)),
-        ("BaseIncl+1x", with_design(base.clone(), LlcDesign::Inclusive)),
+        (
+            "BaseIncl+1x",
+            with_design(base.clone(), LlcDesign::Inclusive),
+        ),
         (
             "ZDIncl+NoDir",
             with_design(zd(DirectoryKind::None), LlcDesign::Inclusive),
@@ -110,7 +117,9 @@ pub fn run() {
         }
         t.row(&cells);
     }
-    println!("== Figure 25: EPD and inclusive LLC designs (normalised to non-inclusive 1x baseline) ==");
+    println!(
+        "== Figure 25: EPD and inclusive LLC designs (normalised to non-inclusive 1x baseline) =="
+    );
     print!("{}", t.render());
     println!(
         "paper shape: the EPD baseline beats the non-inclusive baseline (better\n\

@@ -7,8 +7,8 @@
 //! group runs on the 128-core machine with its iso-storage geometries.
 
 use crate::{
-    baseline, column_min, mt, mt_suites, rate8, rows_vs_col0, run_grid, server_params, sparse,
-    wl, zerodev_trio, Maker, SEED,
+    baseline, column_min, mt, mt_suites, rate8, rows_vs_col0, run_grid, server_params, sparse, wl,
+    zerodev_trio, Maker, SEED,
 };
 use zerodev_common::config::{DirectoryKind, Ratio, ZeroDevConfig};
 use zerodev_common::table::{geomean, Table};
@@ -75,11 +75,8 @@ pub fn run() {
             baseline()
         };
         let configs: Vec<(&str, SystemConfig)> = if server {
-            let zd = |dir: DirectoryKind| {
-                base_cfg
-                    .clone()
-                    .with_zerodev(ZeroDevConfig::default(), dir)
-            };
+            let zd =
+                |dir: DirectoryKind| base_cfg.clone().with_zerodev(ZeroDevConfig::default(), dir);
             let sp = |num, den| DirectoryKind::Sparse {
                 ratio: Ratio::new(num, den),
                 ways: 8,
@@ -87,7 +84,10 @@ pub fn run() {
             };
             vec![
                 ("SecDir+1x", secdir_cfg(&base_cfg, false)),
-                ("Base+1/8x", base_cfg.clone().with_sparse_dir(Ratio::new(1, 8))),
+                (
+                    "Base+1/8x",
+                    base_cfg.clone().with_sparse_dir(Ratio::new(1, 8)),
+                ),
                 ("SecDir+1/8x", secdir_cfg(&base_cfg, true)),
                 ("ZD+1x", zd(sp(1, 1))),
                 ("ZD+1/8x", zd(sp(1, 8))),

@@ -2,7 +2,9 @@
 //! without a sparse directory, relative to the baseline (non-inclusive LLC
 //! + 1× directory). The paper's CACTI estimate is ~9% average savings.
 
-use crate::{baseline, mt_makers, mt_suites, rate8, run_grid_env, wl, zerodev_default_nodir, Maker};
+use crate::{
+    baseline, mt_makers, mt_suites, rate8, run_grid_env, wl, zerodev_default_nodir, Maker,
+};
 use zerodev_common::table::{mean, Table};
 use zerodev_workloads::suites;
 
@@ -12,12 +14,7 @@ pub fn run() {
     let mut t = Table::new(&["suite", "dir+LLC energy (ZD/base)", "saving %"]);
     let mut groups: Vec<(&str, Vec<Maker>)> = mt_suites()
         .into_iter()
-        .map(|(s, apps)| {
-            (
-                s,
-                mt_makers(&apps, 8).into_iter().map(|(_, m)| m).collect(),
-            )
-        })
+        .map(|(s, apps)| (s, mt_makers(&apps, 8).into_iter().map(|(_, m)| m).collect()))
         .collect();
     groups.push((
         "CPU2017RATE",

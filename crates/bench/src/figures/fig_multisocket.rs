@@ -17,9 +17,16 @@ pub fn run() {
         SystemConfig::four_socket().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
     let total_cores = 32;
 
-    let mut t = Table::new(&["group", "ZD+NoDir speedup", "wbde/DRAM-wr %", "corrupt-read/miss %"]);
+    let mut t = Table::new(&[
+        "group",
+        "ZD+NoDir speedup",
+        "wbde/DRAM-wr %",
+        "corrupt-read/miss %",
+    ]);
     let mut groups: Vec<(&str, Vec<Maker>)> = Vec::new();
-    let mt_apps = ["canneal", "freqmine", "vips", "ocean_cp", "fft", "330.art", "FFTW"];
+    let mt_apps = [
+        "canneal", "freqmine", "vips", "ocean_cp", "fft", "330.art", "FFTW",
+    ];
     groups.push((
         "MT(32-thread)",
         mt_apps

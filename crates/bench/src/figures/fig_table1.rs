@@ -4,7 +4,10 @@ pub fn run() {
     println!("== Table I: baseline simulation environment (one socket) ==\n");
     print!("{}", crate::baseline().describe());
     println!("\n== 128-core server machine ==\n");
-    print!("{}", zerodev_common::SystemConfig::server_128core().describe());
+    print!(
+        "{}",
+        zerodev_common::SystemConfig::server_128core().describe()
+    );
     println!("\n== Four-socket machine (Section V) ==\n");
     print!("{}", zerodev_common::SystemConfig::four_socket().describe());
 }

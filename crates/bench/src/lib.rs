@@ -20,9 +20,7 @@
 
 use std::sync::Arc;
 use std::time::Duration;
-use zerodev_common::config::{
-    DirectoryKind, LlcReplacement, Ratio, SpillPolicy, ZeroDevConfig,
-};
+use zerodev_common::config::{DirectoryKind, LlcReplacement, Ratio, SpillPolicy, ZeroDevConfig};
 use zerodev_common::table::{geomean, Table};
 use zerodev_common::SystemConfig;
 use zerodev_sim::parallel::{self, Engine, RunJob};
@@ -136,7 +134,9 @@ pub fn wl<F: Fn() -> Workload + Send + Sync + 'static>(f: F) -> Maker {
 
 /// Convenience: (name, constructor) pairs for a multi-threaded app list.
 pub fn mt_makers(apps: &[&'static str], cores: usize) -> Vec<(&'static str, Maker)> {
-    apps.iter().map(|&a| (a, wl(move || mt(a, cores)))).collect()
+    apps.iter()
+        .map(|&a| (a, wl(move || mt(a, cores))))
+        .collect()
 }
 
 /// Convenience: (name, constructor) pairs for 8-copy rate workloads.
@@ -253,10 +253,7 @@ pub fn speedup_metric(r: &RunWithEnergy, base: &RunWithEnergy) -> f64 {
 /// Runs the per-application speedup table used by Figures 19–21 and 23 on
 /// the parallel engine: each workload under every config, normalised to
 /// the baseline machine.
-pub fn per_app_speedups(
-    apps: &[(&str, Maker)],
-    configs: &[(&str, SystemConfig)],
-) -> Vec<NormRow> {
+pub fn per_app_speedups(apps: &[(&str, Maker)], configs: &[(&str, SystemConfig)]) -> Vec<NormRow> {
     per_app_speedups_with(apps, configs, &RunParams::from_env())
 }
 

@@ -61,7 +61,11 @@ fn human(ns: f64) -> String {
 pub fn bench_function(name: &str, f: impl FnOnce(&mut Bencher)) {
     let mut b = Bencher::default();
     f(&mut b);
-    println!("{name:<44} {:>12}/iter  ({} iters)", human(b.ns_per_iter), b.iters);
+    println!(
+        "{name:<44} {:>12}/iter  ({} iters)",
+        human(b.ns_per_iter),
+        b.iters
+    );
 }
 
 /// A named group (printed as a header, matching the criterion layout).

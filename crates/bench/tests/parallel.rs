@@ -30,6 +30,7 @@ fn parallel_tables_match_serial_byte_for_byte() {
         refs_per_core: 6_000,
         warmup_refs: 1_000,
         threads: 1,
+        ..Default::default()
     };
     let parallel = RunParams {
         threads: 4,
@@ -76,6 +77,7 @@ fn repeated_grids_hit_the_baseline_cache() {
         refs_per_core: 3_000,
         warmup_refs: 500,
         threads: 2,
+        ..Default::default()
     };
     clear_memo_cache();
     reset_summary();

@@ -29,7 +29,11 @@ fn quick_figures_complete_within_budget_with_cache_hits() {
         }
     }
     let elapsed = t0.elapsed();
-    assert_eq!(ran, wanted.len(), "every smoke figure must be in figures::ALL");
+    assert_eq!(
+        ran,
+        wanted.len(),
+        "every smoke figure must be in figures::ALL"
+    );
     assert!(
         elapsed < BUDGET,
         "quick figures took {elapsed:?}, budget {BUDGET:?}"

@@ -59,10 +59,7 @@ impl<T> EvictionBuffer<T> {
 
     /// Looks up a buffered entry by key.
     pub fn get(&self, key: u64) -> Option<&T> {
-        self.entries
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| v)
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
     }
 
     /// Removes and returns the entry for `key` (the ack arrived).

@@ -106,7 +106,10 @@ impl<T> SetAssoc<T> {
     /// Panics if `sets` is not a positive power of two or `ways` is 0 or
     /// exceeds 255.
     pub fn new(sets: usize, ways: usize, policy: Replacement) -> Self {
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0 && ways <= 255, "ways must be in 1..=255");
         let mut lines = Vec::with_capacity(sets * ways);
         for _ in 0..sets * ways {
@@ -180,15 +183,23 @@ impl<T> SetAssoc<T> {
 
     /// Looks up a line without updating recency.
     pub fn peek(&self, key: u64, pred: impl Fn(&T) -> bool) -> Option<&T> {
-        self.find_way(key, pred)
-            .map(|w| self.line(self.set_of(key), w).data.as_ref().expect("valid line has data"))
+        self.find_way(key, pred).map(|w| {
+            self.line(self.set_of(key), w)
+                .data
+                .as_ref()
+                .expect("valid line has data")
+        })
     }
 
     /// Mutable lookup without recency update.
     pub fn peek_mut(&mut self, key: u64, pred: impl Fn(&T) -> bool) -> Option<&mut T> {
         let set = self.set_of(key);
-        self.find_way(key, pred)
-            .map(move |w| self.line_mut(set, w).data.as_mut().expect("valid line has data"))
+        self.find_way(key, pred).map(move |w| {
+            self.line_mut(set, w)
+                .data
+                .as_mut()
+                .expect("valid line has data")
+        })
     }
 
     fn promote(&mut self, set: usize, way: usize) {
@@ -202,7 +213,12 @@ impl<T> SetAssoc<T> {
         let set = self.set_of(key);
         let way = self.find_way(key, pred)?;
         self.promote(set, way);
-        Some(self.line_mut(set, way).data.as_mut().expect("valid line has data"))
+        Some(
+            self.line_mut(set, way)
+                .data
+                .as_mut()
+                .expect("valid line has data"),
+        )
     }
 
     /// Demotes a line to the LRU position of its set without invalidating it

@@ -298,6 +298,30 @@ pub enum SegmentFormat {
     },
 }
 
+impl SegmentFormat {
+    /// Segment size in bits for an `N`-core socket, excluding the shared
+    /// valid/corrupted bookkeeping (§III-D: `N + 1` bits full-map; the
+    /// hybrid uses 1 state bit + 1 mode bit + the wider of its two fields).
+    pub fn segment_bits(self, cores: usize) -> u32 {
+        match self {
+            SegmentFormat::FullMap => cores as u32 + 1,
+            SegmentFormat::Hybrid {
+                max_pointers,
+                coarse_bits,
+            } => {
+                let ptr_bits = (usize::BITS - cores.saturating_sub(1).leading_zeros()).max(1);
+                2 + (u32::from(max_pointers) * ptr_bits).max(u32::from(coarse_bits))
+            }
+        }
+    }
+
+    /// How many sockets' segments fit in one 64-byte (512-bit) home block —
+    /// the hard ceiling on the socket count a ZeroDEV machine can track.
+    pub fn sockets_per_block(self, cores: usize) -> usize {
+        (512 / self.segment_bits(cores).max(1)) as usize
+    }
+}
+
 /// ZeroDEV-specific configuration; `None` in [`SystemConfig::zerodev`] means
 /// the baseline protocol.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -573,6 +597,17 @@ impl SystemConfig {
         check_geom("l1i", &self.l1i)?;
         check_geom("l1d", &self.l1d)?;
         check_geom("l2", &self.l2)?;
+        check_geom("llc", &self.llc)?;
+        if self.llc_banks == 0 {
+            return Err(ConfigError("LLC needs at least one bank".into()));
+        }
+        if self.block_bytes != 64 {
+            return Err(ConfigError(
+                "only 64-byte blocks are supported (home-socket interleaving and \
+                 segment packing assume them)"
+                    .into(),
+            ));
+        }
         if !self.llc.lines().is_multiple_of(self.llc_banks) {
             return Err(ConfigError("LLC lines not divisible by banks".into()));
         }
@@ -611,6 +646,23 @@ impl SystemConfig {
                 return Err(ConfigError("directory needs at least one way".into()));
             }
             _ => {}
+        }
+        if let Some(zd) = &self.zerodev {
+            if let SegmentFormat::Hybrid { coarse_bits, .. } = zd.segment_format {
+                if coarse_bits == 0 || coarse_bits > 64 {
+                    return Err(ConfigError(format!(
+                        "hybrid segment coarse vector must be 1..=64 bits, got {coarse_bits}"
+                    )));
+                }
+            }
+            let capacity = zd.segment_format.sockets_per_block(self.cores);
+            if self.sockets > capacity {
+                return Err(ConfigError(format!(
+                    "{} sockets exceed the {} segments a 512-bit home block can house \
+                     ({:?} at {} cores/socket)",
+                    self.sockets, capacity, zd.segment_format, self.cores
+                )));
+            }
         }
         Ok(())
     }
@@ -665,11 +717,7 @@ impl SystemConfig {
         let _ = writeln!(s, "directory: {:?}", self.directory);
         match self.zerodev {
             Some(zd) => {
-                let _ = writeln!(
-                    s,
-                    "ZeroDEV: {} + {}",
-                    zd.policy, zd.llc_replacement
-                );
+                let _ = writeln!(s, "ZeroDEV: {} + {}", zd.policy, zd.llc_replacement);
             }
             None => {
                 let _ = writeln!(s, "ZeroDEV: off (baseline protocol)");
@@ -799,6 +847,61 @@ mod tests {
                 ..
             } => assert!(replacement_disabled),
             _ => panic!("expected sparse"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_unhousable_socket_counts() {
+        // Full-map segments for 128-core sockets take 129 bits: only 3 fit
+        // in a 512-bit home block, so a 4-socket machine must be rejected
+        // up front instead of panicking mid-simulation.
+        let mut cfg = SystemConfig::server_128core()
+            .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+        cfg.sockets = 4;
+        let err = cfg.validate().unwrap_err();
+        assert!(err.to_string().contains("segments"), "{err}");
+        cfg.sockets = 3;
+        assert!(cfg.validate().is_ok());
+        // A hybrid format packs more segments and lifts the cap.
+        cfg.sockets = 4;
+        cfg.zerodev.as_mut().unwrap().segment_format = SegmentFormat::Hybrid {
+            max_pointers: 4,
+            coarse_bits: 16,
+        };
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_llc_and_blocks() {
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.llc = CacheGeometry::new(0, 16);
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.llc = CacheGeometry::new(8 << 20, 0);
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.llc_banks = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.block_bytes = 128;
+        assert!(cfg.validate().unwrap_err().to_string().contains("64-byte"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_hybrid_coarse_vectors() {
+        for coarse_bits in [0u8, 65] {
+            let cfg = SystemConfig::baseline_8core().with_zerodev(
+                ZeroDevConfig {
+                    segment_format: SegmentFormat::Hybrid {
+                        max_pointers: 4,
+                        coarse_bits,
+                    },
+                    ..Default::default()
+                },
+                DirectoryKind::None,
+            );
+            let err = cfg.validate().unwrap_err();
+            assert!(err.to_string().contains("coarse"), "{err}");
         }
     }
 

@@ -70,12 +70,23 @@ pub const ALL_CLASSES: [MsgClass; 16] = [
 ];
 
 impl MsgClass {
+    /// Bytes in one control flit header (address + opcode + ids): the size of
+    /// every dataless message.
+    pub const CTRL_BYTES: u64 = 8;
+    /// Bytes in the payload of a data-carrying message: one cache block.
+    pub const BLOCK_BYTES: u64 = 64;
+    /// Bytes in a full data message: header plus one cache block.
+    pub const DATA_BYTES: u64 = Self::CTRL_BYTES + Self::BLOCK_BYTES;
+    /// Bytes in a ZeroDEV eviction notice that carries fused-block
+    /// reconstruction bits: one byte more than a plain control message.
+    pub const EVICT_BITS_BYTES: u64 = Self::CTRL_BYTES + 1;
+
     /// On-wire size of one message of this class, in bytes.
     ///
     /// ```
     /// use zerodev_common::MsgClass;
-    /// assert_eq!(MsgClass::Request.bytes(), 8);
-    /// assert_eq!(MsgClass::Data.bytes(), 72);
+    /// assert_eq!(MsgClass::Request.bytes(), MsgClass::CTRL_BYTES);
+    /// assert_eq!(MsgClass::Data.bytes(), MsgClass::DATA_BYTES);
     /// assert!(MsgClass::EvictNoticeBits.bytes() > MsgClass::EvictNotice.bytes());
     /// ```
     pub fn bytes(self) -> u64 {
@@ -88,14 +99,14 @@ impl MsgClass {
             | MsgClass::MemRead
             | MsgClass::GetDirEntry
             | MsgClass::DenfNack
-            | MsgClass::SocketCtrl => 8,
-            MsgClass::EvictNoticeBits => 9,
+            | MsgClass::SocketCtrl => Self::CTRL_BYTES,
+            MsgClass::EvictNoticeBits => Self::EVICT_BITS_BYTES,
             MsgClass::Data
             | MsgClass::Writeback
             | MsgClass::MemReadData
             | MsgClass::MemWrite
             | MsgClass::WbDirEntry
-            | MsgClass::SocketData => 72,
+            | MsgClass::SocketData => Self::DATA_BYTES,
         }
     }
 
@@ -128,7 +139,10 @@ impl MsgClass {
 
     /// Index of this class within [`ALL_CLASSES`].
     pub fn index(self) -> usize {
-        ALL_CLASSES.iter().position(|&c| c == self).expect("class listed")
+        ALL_CLASSES
+            .iter()
+            .position(|&c| c == self)
+            .expect("class listed")
     }
 }
 

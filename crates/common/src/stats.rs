@@ -10,7 +10,7 @@ use crate::msg::{MsgClass, ALL_CLASSES};
 ///
 /// All fields are plain counts; traffic is tracked both as message counts and
 /// as bytes per [`MsgClass`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Messages sent, per class (indexed by [`MsgClass::index`]).
     pub msg_counts: [u64; 16],

@@ -54,22 +54,15 @@ pub trait SegmentFormatExt {
 }
 
 impl SegmentFormatExt for SegmentFormat {
+    // The bit-budget arithmetic lives on `SegmentFormat` itself (in
+    // `zerodev_common::config`) so `SystemConfig::validate` can reject
+    // machines whose socket count exceeds the home-block capacity.
     fn segment_bits(self, cores: usize) -> u32 {
-        match self {
-            SegmentFormat::FullMap => cores as u32 + 1,
-            SegmentFormat::Hybrid {
-                max_pointers,
-                coarse_bits,
-            } => {
-                let ptr_bits = (usize::BITS - (cores - 1).leading_zeros()).max(1);
-                // 1 state bit + 1 mode bit + max(pointer field, coarse field)
-                2 + (u32::from(max_pointers) * ptr_bits).max(u32::from(coarse_bits))
-            }
-        }
+        SegmentFormat::segment_bits(self, cores)
     }
 
     fn sockets_per_block(self, cores: usize) -> usize {
-        (512 / self.segment_bits(cores).max(1)) as usize
+        SegmentFormat::sockets_per_block(self, cores)
     }
 
     /// # Panics
@@ -152,7 +145,11 @@ mod tests {
 
     fn entry_of(cores: &[u16], owned: bool) -> DirEntry {
         DirEntry {
-            state: if owned { DirState::OwnedME } else { DirState::Shared },
+            state: if owned {
+                DirState::OwnedME
+            } else {
+                DirState::Shared
+            },
             sharers: cores.iter().map(|&c| CoreId(c)).collect(),
         }
     }

@@ -166,7 +166,10 @@ impl DirStore {
     /// Panics when the entry is absent (protocol invariant violation) or
     /// `entry` is dead.
     pub fn update(&mut self, block: BlockAddr, entry: DirEntry) -> Vec<EvictedEntry> {
-        assert!(!entry.is_dead(), "dead entries must be removed, not updated");
+        assert!(
+            !entry.is_dead(),
+            "dead entries must be removed, not updated"
+        );
         match self {
             DirStore::Sparse { array, .. } => {
                 let e = array
@@ -280,7 +283,10 @@ mod tests {
         let mut d = DirStore::build(&cfg());
         let b = BlockAddr(0x42);
         assert_eq!(d.peek(b), None);
-        assert_eq!(d.allocate(b, DirEntry::owned(CoreId(1))), AllocOutcome::Stored);
+        assert_eq!(
+            d.allocate(b, DirEntry::owned(CoreId(1))),
+            AllocOutcome::Stored
+        );
         assert_eq!(d.lookup(b).unwrap().owner(), Some(CoreId(1)));
         let mut e = d.peek(b).unwrap();
         e.sharers.insert(CoreId(2));

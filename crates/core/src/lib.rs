@@ -42,10 +42,12 @@ pub mod directory;
 pub mod llc;
 pub mod memdir;
 pub mod mgd;
+pub mod oracle;
 pub mod secdir;
 pub mod system;
 
 pub use compress::{CompressedEntry, SegmentFormatExt};
 pub use directory::{DirEntry, DirStore};
 pub use llc::{LlcBank, LlcLine};
+pub use oracle::{AuditEvent, EventLog, Oracle};
 pub use system::{AccessResult, EvictKind, InvalReason, Invalidation, Op, System};

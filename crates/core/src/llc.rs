@@ -165,7 +165,9 @@ impl LlcBank {
             .touch(key, |l| matches!(l, LlcLine::Spilled { .. }))
             .is_none()
         {
-            let _ = self.array.touch(key, |l| matches!(l, LlcLine::Fused { .. }));
+            let _ = self
+                .array
+                .touch(key, |l| matches!(l, LlcLine::Fused { .. }));
         }
     }
 
@@ -232,10 +234,7 @@ impl LlcBank {
                 entry,
                 block_dirty: dirty,
             },
-            LlcLine::Fused { block_dirty, .. } => LlcLine::Fused {
-                entry,
-                block_dirty,
-            },
+            LlcLine::Fused { block_dirty, .. } => LlcLine::Fused { entry, block_dirty },
             LlcLine::Spilled { .. } => unreachable!("holds_block excludes spilled"),
         };
     }
@@ -341,7 +340,10 @@ mod tests {
         let mut b = bank(4, 4);
         let e = DirEntry::shared(CoreId(1));
         b.fill_data(blk(0), false, LlcReplacement::DataLru);
-        assert!(b.spill_entry(blk(0), e, LlcReplacement::DataLru).victim().is_none());
+        assert!(b
+            .spill_entry(blk(0), e, LlcReplacement::DataLru)
+            .victim()
+            .is_none());
         assert!(b.block_line(blk(0)).is_some());
         assert_eq!(b.spilled_entry(blk(0)), Some(e));
         assert_eq!(b.entry_for(blk(0)), Some(e));
@@ -355,7 +357,10 @@ mod tests {
         let mut e = DirEntry::shared(CoreId(1));
         b.spill_entry(blk(0), e, LlcReplacement::DataLru);
         e.sharers.insert(CoreId(2));
-        assert!(b.spill_entry(blk(0), e, LlcReplacement::DataLru).victim().is_none());
+        assert!(b
+            .spill_entry(blk(0), e, LlcReplacement::DataLru)
+            .victim()
+            .is_none());
         assert_eq!(b.spilled_entry(blk(0)).unwrap().sharers.count(), 2);
         assert_eq!(b.len(), 1);
     }
@@ -371,13 +376,19 @@ mod tests {
         assert_eq!(victim.0, blk(1));
         // Another spill still finds the remaining data line to victimise.
         let e2 = DirEntry::owned(CoreId(1));
-        let victim = b.spill_entry(blk(3), e2, LlcReplacement::DataLru).victim().unwrap();
+        let victim = b
+            .spill_entry(blk(3), e2, LlcReplacement::DataLru)
+            .victim()
+            .unwrap();
         assert_eq!(victim.0, blk(2));
         assert!(victim.1.holds_block());
         // Now the set holds only spilled entries: the next insert must
         // finally sacrifice one (the WB_DE case).
         let e3 = DirEntry::owned(CoreId(2));
-        let victim = b.spill_entry(blk(4), e3, LlcReplacement::DataLru).victim().unwrap();
+        let victim = b
+            .spill_entry(blk(4), e3, LlcReplacement::DataLru)
+            .victim()
+            .unwrap();
         assert!(victim.1.holds_entry());
     }
 

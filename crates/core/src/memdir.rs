@@ -190,7 +190,10 @@ impl MemorySide {
     pub fn house_entry(&mut self, block: BlockAddr, socket: SocketId, entry: DirEntry) -> bool {
         // The segment stores the configured encoding; imprecise formats
         // surface as a sharer superset when the entry is read back.
-        let stored = self.seg_format.encode(&entry, self.cores).decode(self.cores);
+        let stored = self
+            .seg_format
+            .encode(&entry, self.cores)
+            .decode(self.cores);
         let cb = self.corrupted.entry(block).or_default();
         let others = cb.sockets().iter().any(|s| s != socket);
         cb.set_segment(socket, stored);
@@ -232,6 +235,12 @@ impl MemorySide {
         self.corrupted.len()
     }
 
+    /// Iterates every corrupted home block and its record (diagnostics; the
+    /// audit oracle's full sweep walks this to check segment bookkeeping).
+    pub fn corrupted_blocks(&self) -> impl Iterator<Item = (BlockAddr, &CorruptedBlock)> {
+        self.corrupted.iter().map(|(b, cb)| (*b, cb))
+    }
+
     // ---- socket-level directory ------------------------------------------
 
     /// Looks up the socket-level entry for `block` at its home socket.
@@ -267,6 +276,17 @@ impl MemorySide {
                 cached: false,
             }
         }
+    }
+
+    /// Reads the socket-level entry for `block` without touching the
+    /// directory cache's recency state or the hit/miss counters. The audit
+    /// oracle uses this so audited runs stay byte-identical to unaudited
+    /// ones; the protocol itself must go through [`Self::socket_dir_lookup`].
+    pub fn socket_dir_peek(&self, home: SocketId, block: BlockAddr) -> Option<SocketDirEntry> {
+        if self.sockets == 1 {
+            return None;
+        }
+        self.dir_backing[home.0 as usize].get(&block).copied()
     }
 
     /// Installs or updates the socket-level entry for `block`.
@@ -406,7 +426,11 @@ mod tests {
         let l = m.socket_dir_lookup(SocketId(0), BlockAddr(5));
         assert_eq!(l.entry, None);
         assert!(l.cached);
-        m.socket_dir_update(SocketId(0), BlockAddr(5), SocketDirEntry::owned_by(SocketId(0)));
+        m.socket_dir_update(
+            SocketId(0),
+            BlockAddr(5),
+            SocketDirEntry::owned_by(SocketId(0)),
+        );
         assert_eq!(m.socket_dir_lookup(SocketId(0), BlockAddr(5)).entry, None);
     }
 

@@ -90,11 +90,7 @@ impl MultiGrainDir {
     /// Looks up and promotes.
     pub fn lookup(&mut self, block: BlockAddr) -> Option<DirEntry> {
         let result = self.peek(block)?;
-        if self
-            .array
-            .touch(block.0, MgdEntry::is_block)
-            .is_none()
-        {
+        if self.array.touch(block.0, MgdEntry::is_block).is_none() {
             let _ = self.array.touch(region_key(block), MgdEntry::is_region);
         }
         Some(result)
@@ -215,8 +211,8 @@ impl MultiGrainDir {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zerodev_common::DirState;
     use zerodev_common::ids::SharerSet;
+    use zerodev_common::DirState;
 
     fn mgd() -> MultiGrainDir {
         MultiGrainDir::new(64, 4)

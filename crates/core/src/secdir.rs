@@ -188,13 +188,8 @@ impl SecDir {
                 *e = entry;
             }
             Some(Residency::Private) => {
-                let current = self
-                    .merged_private_view(block)
-                    .expect("index says private");
-                let grew = entry
-                    .sharers
-                    .iter()
-                    .any(|c| !current.sharers.contains(c));
+                let current = self.merged_private_view(block).expect("index says private");
+                let grew = entry.sharers.iter().any(|c| !current.sharers.contains(c));
                 if grew {
                     // Consolidate: pull private traces, re-allocate shared.
                     for part in &mut self.private {
@@ -271,7 +266,10 @@ mod tests {
     fn allocate_and_lookup() {
         let mut sd = tiny();
         let b = BlockAddr(3);
-        assert_eq!(sd.allocate(b, DirEntry::owned(CoreId(2))), AllocOutcome::Stored);
+        assert_eq!(
+            sd.allocate(b, DirEntry::owned(CoreId(2))),
+            AllocOutcome::Stored
+        );
         assert_eq!(sd.peek(b).unwrap().owner(), Some(CoreId(2)));
         assert_eq!(sd.lookup(b).unwrap().owner(), Some(CoreId(2)));
         assert_eq!(sd.live_entries(), 1);
@@ -337,7 +335,7 @@ mod tests {
         let b2 = BlockAddr(9);
         sd.allocate(b1, DirEntry::owned(CoreId(0)));
         sd.allocate(b2, DirEntry::owned(CoreId(1))); // b1 now private-split
-        // A new core reads b1: sharers grow → consolidation back to shared.
+                                                     // A new core reads b1: sharers grow → consolidation back to shared.
         let mut e = sd.peek(b1).unwrap();
         e.state = DirState::Shared;
         e.sharers.insert(CoreId(4));
@@ -363,7 +361,10 @@ mod tests {
         let mut e = sd.peek(b1).unwrap();
         e.sharers.remove(CoreId(0));
         assert!(sd.update(b1, e).is_empty());
-        assert_eq!(sd.peek(b1).unwrap().sharers.iter().collect::<Vec<_>>(), vec![CoreId(1)]);
+        assert_eq!(
+            sd.peek(b1).unwrap().sharers.iter().collect::<Vec<_>>(),
+            vec![CoreId(1)]
+        );
         // Removing the last sharer goes through remove().
         assert!(sd.remove(b1).is_some());
         assert_eq!(sd.peek(b1), None);

@@ -34,9 +34,7 @@ use zerodev_common::config::{
     ConfigError, LlcDesign, LlcReplacement, SpillPolicy, SystemConfig, ZeroDevConfig,
 };
 use zerodev_common::ids::SocketSet;
-use zerodev_common::{
-    BlockAddr, CoreId, Cycle, DirState, MesiState, MsgClass, SocketId, Stats,
-};
+use zerodev_common::{BlockAddr, CoreId, Cycle, DirState, MesiState, MsgClass, SocketId, Stats};
 use zerodev_noc::SocketTopology;
 
 /// A core-cache request arriving at the uncore.
@@ -139,6 +137,9 @@ pub struct System {
     mem: MemorySide,
     /// All event counters.
     pub stats: Stats,
+    /// Invariant checker, present only when auditing is enabled
+    /// ([`Self::enable_audit`]); release sweeps pay one branch per hook.
+    oracle: Option<Box<crate::oracle::Oracle>>,
 }
 
 impl System {
@@ -164,7 +165,65 @@ impl System {
             sockets,
             mem,
             stats: Stats::new(),
+            oracle: None,
         })
+    }
+
+    /// Attaches the coherence invariant oracle (shadow model + checker,
+    /// [`crate::oracle`]). Must be enabled before the first transaction so
+    /// the shadow map sees the whole stream; every subsequent transaction
+    /// is checked and the first violation panics with an event-log dump.
+    /// The oracle only reads through recency-neutral accessors, so stats
+    /// stay byte-identical to an unaudited run.
+    pub fn enable_audit(&mut self) {
+        self.oracle = Some(Box::new(crate::oracle::Oracle::new(&self.cfg)));
+    }
+
+    /// True when the invariant oracle is attached.
+    pub fn audit_enabled(&self) -> bool {
+        self.oracle.is_some()
+    }
+
+    /// Runs a full shadow-map sweep now (no-op without [`Self::enable_audit`]).
+    /// The engine calls this once at the end of an audited run.
+    pub fn audit_sweep(&self) {
+        if let Some(o) = &self.oracle {
+            o.full_sweep(self);
+        }
+    }
+
+    /// Test-only fault injection: silently drops one sharer from the
+    /// directory entry tracking `block` in `socket`, wherever the entry
+    /// lives, modelling a lost-sharer protocol bug. Returns false when no
+    /// entry with at least two sharers tracks the block. The next audit
+    /// check over the block must flag the precision violation.
+    #[doc(hidden)]
+    pub fn debug_inject_lost_sharer(&mut self, socket: SocketId, block: BlockAddr) -> bool {
+        let s = socket.0 as usize;
+        let Some((mut e, loc)) = self.find_entry(s, block) else {
+            return false;
+        };
+        let Some(victim) = e.sharers.any() else {
+            return false;
+        };
+        if e.sharers.count() < 2 {
+            return false;
+        }
+        e.sharers.remove(victim);
+        let bank = self.bank_of(block);
+        match loc {
+            EntryLoc::Dedicated => {
+                let _ = self.sockets[s].dir.update(block, e);
+            }
+            EntryLoc::Spilled => {
+                let policy = self.policy();
+                let _ = self.sockets[s].banks[bank].spill_entry(block, e, policy);
+            }
+            EntryLoc::Fused => {
+                self.sockets[s].banks[bank].fuse_entry(block, e);
+            }
+        }
+        true
     }
 
     /// The machine configuration.
@@ -409,8 +468,8 @@ impl System {
                 self.stats.llc_dir_accesses += 1;
                 if fpss && !entry.state.is_owned() {
                     self.stats.llc_data_accesses += 1; // the new spill write
-                    // M/E→S: spill the entry and reconstruct the block from
-                    // the owner's low bits sent with the busy-clear message.
+                                                       // M/E→S: spill the entry and reconstruct the block from
+                                                       // the owner's low bits sent with the busy-clear message.
                     let _ = self.sockets[s].banks[bank].unfuse(block);
                     self.stats.msg(MsgClass::EvictNoticeBits);
                     self.stats.dir_spills += 1;
@@ -703,10 +762,7 @@ impl System {
         let has_line = self.sockets[s].banks[self.bank_of(block)]
             .block_line(block)
             .is_some();
-        let has_segment = self
-            .mem
-            .peek_entry(block, SocketId(s as u8))
-            .is_some();
+        let has_segment = self.mem.peek_entry(block, SocketId(s as u8)).is_some();
         if has_entry || has_line || has_segment {
             return;
         }
@@ -748,13 +804,21 @@ impl System {
     ) -> AccessResult {
         let s = socket.0 as usize;
         let bank = self.bank_of(block);
+        if let Some(o) = self.oracle.as_mut() {
+            o.begin_access(&self.stats);
+        }
         if op == Op::Upgrade {
             self.stats.upgrades += 1;
         } else {
             self.stats.core_cache_misses += 1;
         }
         self.stats.msg(MsgClass::Request);
-        let mut t = now + self.sockets[s].topo.core_bank_latency(core.0 as usize, bank, 8);
+        let mut t = now
+            + self.sockets[s].topo.core_bank_latency(
+                core.0 as usize,
+                bank,
+                MsgClass::Request.bytes(),
+            );
         // Tag array + dedicated directory probed in parallel.
         t = self.bank_port(s, bank, t, self.cfg.llc_tag_cycles) + self.cfg.llc_tag_cycles;
         self.stats.llc_tag_lookups += 1;
@@ -795,7 +859,11 @@ impl System {
                     &mut invals,
                 );
                 // Dataless response with the expected-ack count.
-                let resp = self.sockets[s].topo.bank_core_latency(bank, core.0 as usize, 8);
+                let resp = self.sockets[s].topo.bank_core_latency(
+                    bank,
+                    core.0 as usize,
+                    MsgClass::Ack.bytes(),
+                );
                 self.stats.msg(MsgClass::Ack);
                 t += resp.max(inv_path);
                 let new_entry = DirEntry::owned(core);
@@ -847,8 +915,7 @@ impl System {
                         if has_data {
                             // Served from the LLC.
                             let zd_policy = self.zd().map(|z| z.policy);
-                            if zd_policy == Some(SpillPolicy::SpillAll)
-                                && loc == EntryLoc::Spilled
+                            if zd_policy == Some(SpillPolicy::SpillAll) && loc == EntryLoc::Spilled
                             {
                                 // SpillAll reads the entry first (§III-C1).
                                 t += self.cfg.llc_data_cycles;
@@ -858,9 +925,11 @@ impl System {
                             t = self.bank_port(s, bank, t, self.cfg.llc_data_cycles)
                                 + self.cfg.llc_data_cycles;
                             self.stats.llc_data_accesses += 1;
-                            t += self.sockets[s]
-                                .topo
-                                .bank_core_latency(bank, core.0 as usize, 72);
+                            t += self.sockets[s].topo.bank_core_latency(
+                                bank,
+                                core.0 as usize,
+                                MsgClass::Data.bytes(),
+                            );
                             self.stats.msg(MsgClass::Data);
                             self.stats.two_hop_reads += 1;
                             if loc == EntryLoc::Spilled {
@@ -899,7 +968,14 @@ impl System {
                     }
                     None => {
                         grant = self.untracked_read(
-                            now, &mut t, s, core, block, code, &mut invals, &mut downgrades,
+                            now,
+                            &mut t,
+                            s,
+                            core,
+                            block,
+                            code,
+                            &mut invals,
+                            &mut downgrades,
                         );
                     }
                 }
@@ -954,9 +1030,11 @@ impl System {
                             self.stats.llc_data_accesses += 1;
                             self.stats.msg(MsgClass::Data);
                             self.cfg.llc_data_cycles
-                                + self.sockets[s]
-                                    .topo
-                                    .bank_core_latency(bank, core.0 as usize, 72)
+                                + self.sockets[s].topo.bank_core_latency(
+                                    bank,
+                                    core.0 as usize,
+                                    MsgClass::Data.bytes(),
+                                )
                         } else {
                             // Forward to one sharer, combined with its
                             // invalidation (baseline critical path).
@@ -977,11 +1055,24 @@ impl System {
                     }
                     None => {
                         grant = self.untracked_rfo(
-                            now, &mut t, s, core, block, &mut invals, &mut downgrades,
+                            now,
+                            &mut t,
+                            s,
+                            core,
+                            block,
+                            &mut invals,
+                            &mut downgrades,
                         );
                     }
                 }
             }
+        }
+
+        if self.oracle.is_some() {
+            // Take/put-back so the oracle can read the whole system state.
+            let mut o = self.oracle.take().expect("checked above");
+            o.after_access(self, socket, core, block, op, grant, &invals, &downgrades);
+            self.oracle = Some(o);
         }
 
         AccessResult {
@@ -1004,11 +1095,15 @@ impl System {
         self.stats.msg(MsgClass::Forward);
         self.stats.msg(MsgClass::Data);
         self.stats.msg(MsgClass::Ack); // busy-clear
-        self.sockets[s].topo.bank_core_latency(bank, owner.0 as usize, 8)
+        self.sockets[s]
+            .topo
+            .bank_core_latency(bank, owner.0 as usize, MsgClass::Forward.bytes())
             + self.cfg.l2_hit_cycles
-            + self.sockets[s]
-                .topo
-                .core_core_latency(owner.0 as usize, requester.0 as usize, 72)
+            + self.sockets[s].topo.core_core_latency(
+                owner.0 as usize,
+                requester.0 as usize,
+                MsgClass::Data.bytes(),
+            )
     }
 
     /// Sends invalidations to every sharer except `keep`; returns the
@@ -1039,17 +1134,22 @@ impl System {
                 block,
                 reason,
             });
-            let path = self.sockets[s]
-                .topo
-                .bank_core_latency(bank, sharer.0 as usize, 8)
-                + match keep {
-                    Some(req) => self.sockets[s]
-                        .topo
-                        .core_core_latency(sharer.0 as usize, req.0 as usize, 8),
-                    None => self.sockets[s]
-                        .topo
-                        .bank_core_latency(bank, sharer.0 as usize, 8),
-                };
+            let path = self.sockets[s].topo.bank_core_latency(
+                bank,
+                sharer.0 as usize,
+                MsgClass::Invalidation.bytes(),
+            ) + match keep {
+                Some(req) => self.sockets[s].topo.core_core_latency(
+                    sharer.0 as usize,
+                    req.0 as usize,
+                    MsgClass::Ack.bytes(),
+                ),
+                None => self.sockets[s].topo.bank_core_latency(
+                    bank,
+                    sharer.0 as usize,
+                    MsgClass::Ack.bytes(),
+                ),
+            };
             worst = worst.max(path);
         }
         worst

@@ -28,20 +28,26 @@ impl System {
             self.stats.llc_data_accesses += 1;
             *t += self.sockets[s]
                 .topo
-                .bank_core_latency(bank, core.0 as usize, 72);
+                .bank_core_latency(bank, core.0 as usize, MsgClass::Data.bytes());
             self.stats.msg(MsgClass::Data);
             self.stats.two_hop_reads += 1;
             let policy = self.policy();
             self.sockets[s].banks[bank].touch_block(block, policy);
             let grant = if code {
                 MesiState::Shared
+            } else if self.cfg.sockets > 1 {
+                // A local LLC data line rules out a remote *owner* (a
+                // remote write would have invalidated it), but remote
+                // sockets may still hold S copies: the home socket-level
+                // directory must be consulted before granting E.
+                self.untracked_read_socket_grant(t, s, block)
             } else {
                 MesiState::Exclusive
             };
-            let entry = if code {
-                DirEntry::shared(core)
-            } else {
+            let entry = if grant == MesiState::Exclusive {
                 DirEntry::owned(core)
+            } else {
+                DirEntry::shared(core)
             };
             if grant == MesiState::Exclusive {
                 // EPD deallocates first so the new entry cannot fuse
@@ -52,6 +58,40 @@ impl System {
             grant
         } else {
             self.memory_fetch(now, t, s, core, block, false, code, invals, downgrades)
+        }
+    }
+
+    /// Decides the grant for an untracked-read LLC data hit on a
+    /// multi-socket machine: E only when no *other* socket shares the
+    /// block, S otherwise. Keeps the socket-level directory in step with
+    /// the decision.
+    fn untracked_read_socket_grant(&mut self, t: &mut Cycle, s: usize, block: BlockAddr) -> MesiState {
+        let home = self.cfg.home_socket(block);
+        let me = SocketId(s as u8);
+        if home != me {
+            // Query + response on the socket interconnect.
+            *t += 2 * self.cfg.inter_socket_cycles;
+            self.stats.msg(MsgClass::SocketCtrl);
+            self.stats.msg(MsgClass::SocketCtrl);
+        }
+        let lookup = self.mem.socket_dir_lookup(home, block);
+        if !lookup.cached && self.mem.miss_needs_memory_read() {
+            self.stats.dram_reads += 1;
+            *t = self.mem.dram_read(*t, home, block);
+        }
+        let remote_sharers = lookup
+            .entry
+            .is_some_and(|e| e.sharers.iter().any(|x| x != me));
+        if remote_sharers {
+            let mut se = lookup.entry.expect("checked above");
+            se.owned = false;
+            se.sharers.insert(me);
+            self.mem.socket_dir_update(home, block, se);
+            MesiState::Shared
+        } else {
+            self.mem
+                .socket_dir_update(home, block, SocketDirEntry::owned_by(me));
+            MesiState::Exclusive
         }
     }
 
@@ -77,10 +117,15 @@ impl System {
             self.stats.llc_data_accesses += 1;
             *t += self.sockets[s]
                 .topo
-                .bank_core_latency(bank, core.0 as usize, 72);
+                .bank_core_latency(bank, core.0 as usize, MsgClass::Data.bytes());
             self.stats.msg(MsgClass::Data);
             self.epd_on_private_transition(now, s, block);
             self.install_entry(now, s, block, DirEntry::owned(core), invals);
+            // Unlike the untracked *read*, granting M here without first
+            // consulting the socket-level directory is safe: the local data
+            // line rules out a remote owner, and `socket_level_invalidate`
+            // below invalidates every remote S copy and claims socket-level
+            // ownership before the write is granted.
             let lat = self.socket_level_invalidate(now, s, block, invals);
             *t += lat;
             MesiState::Modified
@@ -116,7 +161,9 @@ impl System {
         // Single socket: home memory is local.
         let bank = self.bank_of(block);
         self.stats.msg(MsgClass::MemRead);
-        *t += self.sockets[s].topo.bank_mc_latency(bank, 0, 8);
+        *t += self.sockets[s]
+            .topo
+            .bank_mc_latency(bank, 0, MsgClass::MemRead.bytes());
         if self.mem.is_corrupted(block) {
             // The socket's own entry is housed in the home block (§III-D3
             // step 3, degenerate single-socket form): read the corrupted
@@ -128,7 +175,11 @@ impl System {
             self.stats.dram_reads += 1;
             let tm = self.mem.dram_read(*t, home, block);
             self.stats.msg(MsgClass::MemReadData);
-            *t = tm + self.sockets[s].topo.bank_mc_latency(bank, 0, 72) + 1;
+            *t = tm
+                + self.sockets[s]
+                    .topo
+                    .bank_mc_latency(bank, 0, MsgClass::MemReadData.bytes())
+                + 1;
             let entry = self
                 .mem
                 .extract_entry(block, SocketId(s as u8))
@@ -142,10 +193,13 @@ impl System {
         self.stats.dram_reads += 1;
         let tm = self.mem.dram_read(*t, home, block);
         self.stats.msg(MsgClass::MemReadData);
-        *t = tm + self.sockets[s].topo.bank_mc_latency(bank, 0, 72);
+        *t = tm
+            + self.sockets[s]
+                .topo
+                .bank_mc_latency(bank, 0, MsgClass::MemReadData.bytes());
         *t += self.sockets[s]
             .topo
-            .bank_core_latency(bank, core.0 as usize, 72);
+            .bank_core_latency(bank, core.0 as usize, MsgClass::Data.bytes());
         self.stats.msg(MsgClass::Data);
         self.finish_memory_fill(now, s, core, block, exclusive, code, invals)
     }
@@ -346,12 +400,21 @@ impl System {
                         self.stats.msg(MsgClass::SocketData);
                     }
                     self.stats.msg(MsgClass::Data);
+                    // E is only legal when no *other* socket shares the
+                    // block; a remote S copy forces a Shared grant (SWMR).
+                    let me = SocketId(s as u8);
+                    let remote = e.sharers.iter().any(|x| x != me);
                     let grant =
-                        self.finish_memory_fill(now, s, core, block, false, code, invals);
-                    let mut se = e;
-                    se.owned = false;
-                    se.sharers.insert(SocketId(s as u8));
-                    self.mem.socket_dir_update(home, block, se);
+                        self.finish_memory_fill(now, s, core, block, false, code || remote, invals);
+                    if grant == MesiState::Shared {
+                        let mut se = e;
+                        se.owned = false;
+                        se.sharers.insert(me);
+                        self.mem.socket_dir_update(home, block, se);
+                    } else {
+                        self.mem
+                            .socket_dir_update(home, block, SocketDirEntry::owned_by(me));
+                    }
                     return grant;
                 }
                 // Need data from socket F (owner, or corrupted sharer).
@@ -374,6 +437,11 @@ impl System {
                         .socket_dir_update(home, block, SocketDirEntry::owned_by(SocketId(s as u8)));
                     let entry = DirEntry::owned(core);
                     self.epd_on_private_transition(now, s, block);
+                    if self.cfg.llc_design == LlcDesign::Inclusive {
+                        // Inclusion: a privately held block must keep an
+                        // LLC line even when the data came from socket F.
+                        self.fill_llc(now, s, block, false, invals);
+                    }
                     self.install_entry(now, s, block, entry, invals);
                     MesiState::Modified
                 } else {
@@ -468,7 +536,7 @@ impl System {
         let source = entry.sharers.any().expect("live entry has holders");
         lat += self.sockets[f]
             .topo
-            .bank_core_latency(bank, source.0 as usize, 8)
+            .bank_core_latency(bank, source.0 as usize, MsgClass::Forward.bytes())
             + self.cfg.l2_hit_cycles;
         self.stats.msg(MsgClass::Forward);
         self.stats.msg(MsgClass::Data);
@@ -607,12 +675,21 @@ impl System {
         let s = socket.0 as usize;
         let bank = self.bank_of(block);
         let mut invals = Vec::new();
+        // The notice payload follows the message class that will be sent:
+        // dirty writebacks and EPD clean-exclusive victim transfers carry
+        // the data block (§III-E); every other notice is control-sized.
+        let payload = match kind {
+            EvictKind::Dirty => MsgClass::Writeback.bytes(),
+            EvictKind::CleanExclusive if self.cfg.llc_design == LlcDesign::Epd => {
+                MsgClass::Writeback.bytes()
+            }
+            _ => MsgClass::EvictNotice.bytes(),
+        };
         let t = now
-            + self.sockets[s].topo.core_bank_latency(
-                core.0 as usize,
-                bank,
-                if kind == EvictKind::Dirty { 72 } else { 8 },
-            );
+            + self
+                .sockets[s]
+                .topo
+                .core_bank_latency(core.0 as usize, bank, payload);
         let _ = self.bank_port(s, bank, t, self.cfg.llc_tag_cycles);
         self.stats.llc_tag_lookups += 1;
         self.stats.dir_lookups += 1;
@@ -621,7 +698,15 @@ impl System {
             Some((entry, _)) if !entry.sharers.contains(core) => {
                 // Stale notice: the line was concurrently invalidated (e.g.
                 // a DEV raced this eviction) and the entry re-allocated by
-                // other cores. Real protocols NACK this; drop it.
+                // other cores. Real protocols NACK this; drop it. The notice
+                // message itself was still sent and must be accounted.
+                self.stats.msg(match kind {
+                    EvictKind::Dirty => MsgClass::Writeback,
+                    EvictKind::CleanExclusive if self.cfg.llc_design == LlcDesign::Epd => {
+                        MsgClass::Writeback
+                    }
+                    _ => MsgClass::EvictNotice,
+                });
             }
             Some((entry, loc)) => {
                 // EPD moves every owner-evicted block into the LLC (the
@@ -677,8 +762,22 @@ impl System {
             }
             None => {
                 // ZeroDEV: the entry lives in home memory (corrupted block).
+                // The notice reaching the home bank is accounted here; the
+                // GET_DE / writeback traffic inside.
+                self.stats.msg(match kind {
+                    EvictKind::Dirty => MsgClass::Writeback,
+                    EvictKind::CleanExclusive if self.cfg.llc_design == LlcDesign::Epd => {
+                        MsgClass::Writeback
+                    }
+                    _ => MsgClass::EvictNotice,
+                });
                 self.evict_with_entry_at_home(now, s, core, block, kind, &mut invals);
             }
+        }
+        if self.oracle.is_some() {
+            let mut o = self.oracle.take().expect("checked above");
+            o.after_evict(self, socket, core, block, kind, &invals);
+            self.oracle = Some(o);
         }
         invals
     }
@@ -698,8 +797,8 @@ impl System {
         let me = SocketId(s as u8);
         if kind == EvictKind::Dirty {
             // Step 2: a full-block writeback means the evictor was the
-            // system-wide owner; forward to home as a normal writeback.
-            self.stats.msg(MsgClass::Writeback);
+            // system-wide owner; forward to home as a normal writeback (the
+            // notice/writeback message itself was recorded by the caller).
             debug_assert!(
                 self.mem
                     .corrupted_block(block)
@@ -798,6 +897,11 @@ impl System {
         if self.cfg.sockets > 1 {
             self.writeback_to_memory(now, s, block);
         }
+        if self.oracle.is_some() {
+            let mut o = self.oracle.take().expect("checked above");
+            o.after_sharing_writeback(self, socket, block);
+            self.oracle = Some(o);
+        }
     }
 
     /// A DEV-invalidated owner held the block in M: the dirty block is
@@ -810,6 +914,11 @@ impl System {
         self.stats.msg(MsgClass::Writeback);
         let mut invals = Vec::new();
         self.fill_llc(now, s, block, true, &mut invals);
+        if self.oracle.is_some() {
+            let mut o = self.oracle.take().expect("checked above");
+            o.after_dev_recall(self, socket, block, &invals);
+            self.oracle = Some(o);
+        }
         invals
     }
 
@@ -819,6 +928,11 @@ impl System {
         let s = socket.0 as usize;
         self.stats.msg(MsgClass::Writeback);
         self.writeback_to_memory(now, s, block);
+        if self.oracle.is_some() {
+            let mut o = self.oracle.take().expect("checked above");
+            o.after_inclusion_writeback(self, socket, block);
+            self.oracle = Some(o);
+        }
     }
 
     // ---------------------------------------------------------------------

@@ -145,9 +145,7 @@ fn sharer_socket_recovers_entry_from_corrupted_block() {
         sys.access(Cycle(0), S1, C1, b, Op::Read);
     }
     let Some(&b) = blocks.iter().find(|&&b| {
-        sys.memory_corrupted(b)
-            && sys.entry_of(S1, b).is_none()
-            && sys.llc_line_of(S1, b).is_none()
+        sys.memory_corrupted(b) && sys.entry_of(S1, b).is_none() && sys.llc_line_of(S1, b).is_none()
     }) else {
         assert!(sys.stats.dir_llc_evictions > 0);
         return;
@@ -168,25 +166,22 @@ fn upgrade_recovers_entry_housed_at_home() {
     let cfg = sys.config().clone();
     let sets = cfg.llc_sets_per_bank() as u64;
     let banks = cfg.llc_banks as u64;
-    let blocks: Vec<BlockAddr> = (0..10).map(|i| BlockAddr(banks * (11 + i * sets))).collect();
+    let blocks: Vec<BlockAddr> = (0..10)
+        .map(|i| BlockAddr(banks * (11 + i * sets)))
+        .collect();
     for &b in &blocks {
         sys.access(Cycle(0), S0, C0, b, Op::Read);
         sys.access(Cycle(0), S0, C1, b, Op::Read);
     }
     let Some(&b) = blocks.iter().find(|&&b| {
-        sys.memory_corrupted(b)
-            && sys.entry_of(S0, b).is_none()
-            && sys.llc_line_of(S0, b).is_none()
+        sys.memory_corrupted(b) && sys.entry_of(S0, b).is_none() && sys.llc_line_of(S0, b).is_none()
     }) else {
         return;
     };
     // Core 0 still holds an S copy; its upgrade must recover the entry and
     // invalidate core 1.
     let r = sys.access(Cycle(0), S0, C0, b, Op::Upgrade);
-    assert!(r
-        .invalidations
-        .iter()
-        .any(|i| i.core == C1 && i.block == b));
+    assert!(r.invalidations.iter().any(|i| i.core == C1 && i.block == b));
     assert_eq!(sys.entry_of(S0, b).unwrap().owner(), Some(C0));
     sys.check_invariants();
 }
@@ -197,7 +192,9 @@ fn last_copy_eviction_restores_corrupted_memory() {
     let cfg = sys.config().clone();
     let sets = cfg.llc_sets_per_bank() as u64;
     let banks = cfg.llc_banks as u64;
-    let blocks: Vec<BlockAddr> = (0..10).map(|i| BlockAddr(banks * (13 + i * sets))).collect();
+    let blocks: Vec<BlockAddr> = (0..10)
+        .map(|i| BlockAddr(banks * (13 + i * sets)))
+        .collect();
     for &b in &blocks {
         sys.access(Cycle(0), S0, C0, b, Op::Read);
         sys.access(Cycle(0), S0, C1, b, Op::Read);

@@ -75,15 +75,17 @@ impl Harness {
         }
     }
 
-    fn apply(&mut self, invals: &[zerodev_core::Invalidation], downgrades: &[zerodev_core::system::Downgrade]) {
+    fn apply(
+        &mut self,
+        invals: &[zerodev_core::Invalidation],
+        downgrades: &[zerodev_core::system::Downgrade],
+    ) {
         for inv in invals {
             let st = self.state(inv.socket.0, inv.core.0, inv.block);
             if st == MesiState::Modified {
                 match inv.reason {
                     InvalReason::Dev => {
-                        let extra =
-                            self.sys
-                                .dev_dirty_recall(Cycle(0), inv.socket, inv.block);
+                        let extra = self.sys.dev_dirty_recall(Cycle(0), inv.socket, inv.block);
                         // Recursive victims are rare in these tests; apply.
                         self.apply(&extra, &[]);
                     }
@@ -107,9 +109,7 @@ impl Harness {
     }
 
     fn op(&mut self, s: u8, c: u16, b: BlockAddr, op: Op) -> u64 {
-        let r = self
-            .sys
-            .access(Cycle(0), SocketId(s), CoreId(c), b, op);
+        let r = self.sys.access(Cycle(0), SocketId(s), CoreId(c), b, op);
         let invals = r.invalidations.clone();
         let downs = r.downgrades.clone();
         self.apply(&invals, &downs);
@@ -374,10 +374,7 @@ fn zerodev_never_generates_devs() {
         for i in 0..32u64 {
             h.write(0, (i % 4) as u16, BlockAddr(0x2000 + i));
         }
-        assert_eq!(
-            h.sys.stats.dev_invalidations, 0,
-            "{policy:?} produced DEVs"
-        );
+        assert_eq!(h.sys.stats.dev_invalidations, 0, "{policy:?} produced DEVs");
         assert!(h.sys.stats.dir_spills + h.sys.stats.dir_fuses > 0);
     }
 }
@@ -414,7 +411,10 @@ fn fpss_fuses_private_and_spills_shared() {
 
 #[test]
 fn spillall_always_spills() {
-    let mut h = Harness::new(zerodev_nodir(SpillPolicy::SpillAll, LlcReplacement::DataLru));
+    let mut h = Harness::new(zerodev_nodir(
+        SpillPolicy::SpillAll,
+        LlcReplacement::DataLru,
+    ));
     let b = BlockAddr(0x40);
     h.read(0, 0, b);
     assert_eq!(h.sys.stats.dir_spills, 1);
@@ -651,7 +651,11 @@ fn multisocket_remote_read_and_write() {
     let lat1 = h.read(2, 0, b);
     assert!(lat1 > 0 && lat0 > 0);
     assert!(h.sys.stats.socket_misses >= 1);
-    assert_eq!(h.state(0, 0, b), MesiState::Shared, "remote read downgraded");
+    assert_eq!(
+        h.state(0, 0, b),
+        MesiState::Shared,
+        "remote read downgraded"
+    );
     assert_eq!(h.state(2, 0, b), MesiState::Shared);
     // Remote write invalidates the other socket's copy.
     h.write(2, 0, b);
@@ -669,7 +673,9 @@ fn multisocket_denf_nack_flow() {
     let mut h = Harness::new(cfg);
     // Socket 1 reads a pile of same-set blocks shared by two cores, pushing
     // spilled entries out to home memory (WB_DE).
-    let blocks: Vec<BlockAddr> = (0..10u64).map(|i| BlockAddr(banks * (11 + i * sets))).collect();
+    let blocks: Vec<BlockAddr> = (0..10u64)
+        .map(|i| BlockAddr(banks * (11 + i * sets)))
+        .collect();
     for &b in &blocks {
         h.read(1, 0, b);
         h.read(1, 1, b);

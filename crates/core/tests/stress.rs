@@ -114,9 +114,7 @@ impl Model {
                     MesiState::Shared => EvictKind::CleanShared,
                     MesiState::Invalid => unreachable!(),
                 };
-                let invals = self
-                    .sys
-                    .evict(Cycle(0), SocketId(s), CoreId(c), b, kind);
+                let invals = self.sys.evict(Cycle(0), SocketId(s), CoreId(c), b, kind);
                 self.set(s, c, b, MesiState::Invalid);
                 self.apply(invals, Vec::new());
             }
@@ -125,7 +123,9 @@ impl Model {
                 MesiState::Modified => {}
                 MesiState::Exclusive => self.set(s, c, b, MesiState::Modified),
                 MesiState::Shared => {
-                    let r = self.sys.access(Cycle(0), SocketId(s), CoreId(c), b, Op::Upgrade);
+                    let r = self
+                        .sys
+                        .access(Cycle(0), SocketId(s), CoreId(c), b, Op::Upgrade);
                     self.apply(r.invalidations, r.downgrades);
                     self.set(s, c, b, MesiState::Modified);
                 }
@@ -143,7 +143,11 @@ impl Model {
                 if st.is_valid() {
                     return;
                 }
-                let op = if rng.chance(0.1) { Op::CodeRead } else { Op::Read };
+                let op = if rng.chance(0.1) {
+                    Op::CodeRead
+                } else {
+                    Op::Read
+                };
                 let r = self.sys.access(Cycle(0), SocketId(s), CoreId(c), b, op);
                 let grant = r.grant;
                 self.apply(r.invalidations, r.downgrades);
@@ -155,7 +159,11 @@ impl Model {
     }
 }
 
-fn tiny(policy: Option<SpillPolicy>, design: LlcDesign, dir: Option<DirectoryKind>) -> SystemConfig {
+fn tiny(
+    policy: Option<SpillPolicy>,
+    design: LlcDesign,
+    dir: Option<DirectoryKind>,
+) -> SystemConfig {
     let mut cfg = SystemConfig::baseline_8core();
     cfg.cores = 4;
     cfg.l1i = CacheGeometry::new(2 << 10, 2);
@@ -226,12 +234,20 @@ fn stress_zerodev_fpss() {
 
 #[test]
 fn stress_zerodev_spillall() {
-    stress(tiny(Some(SpillPolicy::SpillAll), LlcDesign::NonInclusive, None), 8000, 4);
+    stress(
+        tiny(Some(SpillPolicy::SpillAll), LlcDesign::NonInclusive, None),
+        8000,
+        4,
+    );
 }
 
 #[test]
 fn stress_zerodev_fuseall() {
-    stress(tiny(Some(SpillPolicy::FuseAll), LlcDesign::NonInclusive, None), 8000, 5);
+    stress(
+        tiny(Some(SpillPolicy::FuseAll), LlcDesign::NonInclusive, None),
+        8000,
+        5,
+    );
 }
 
 #[test]
@@ -273,7 +289,11 @@ fn stress_secdir() {
         private_ways: 2,
     };
     stress(
-        tiny(None, LlcDesign::NonInclusive, Some(DirectoryKind::SecDir(geom))),
+        tiny(
+            None,
+            LlcDesign::NonInclusive,
+            Some(DirectoryKind::SecDir(geom)),
+        ),
         6000,
         8,
     );

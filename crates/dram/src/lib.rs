@@ -228,7 +228,7 @@ mod tests {
         let mut m = model();
         let t1 = m.read(Cycle(0), BlockAddr(0)); // channel 0
         let t2 = m.read(Cycle(0), BlockAddr(1)); // channel 1
-        // Channel 1 unaffected by channel 0 (same latency from time 0).
+                                                 // Channel 1 unaffected by channel 0 (same latency from time 0).
         assert_eq!(t2.since(Cycle(0)), t1.since(Cycle(0)));
     }
 

@@ -126,14 +126,15 @@ impl SocketTopology {
     /// # Panics
     /// Panics if any count is zero.
     pub fn new(cores: usize, banks: usize, channels: usize, cfg: NocConfig) -> Self {
-        assert!(cores > 0 && banks > 0 && channels > 0, "counts must be positive");
+        assert!(
+            cores > 0 && banks > 0 && channels > 0,
+            "counts must be positive"
+        );
         let (cols, rows) = Mesh::square_for(cores.max(banks));
         let mesh = Mesh::new(cols, rows, cfg);
         let n = mesh.nodes();
         let core_nodes: Vec<NodeId> = (0..cores).map(|i| NodeId(i % n)).collect();
-        let bank_nodes: Vec<NodeId> = (0..banks)
-            .map(|i| NodeId(i * n / banks))
-            .collect();
+        let bank_nodes: Vec<NodeId> = (0..banks).map(|i| NodeId(i * n / banks)).collect();
         let corner_like: Vec<usize> = vec![
             0,
             cols - 1,
@@ -167,8 +168,7 @@ impl SocketTopology {
 
     /// One-way latency core → LLC bank.
     pub fn core_bank_latency(&self, core: usize, bank: usize, bytes: u64) -> u64 {
-        self.mesh
-            .latency(self.cores[core], self.banks[bank], bytes)
+        self.mesh.latency(self.cores[core], self.banks[bank], bytes)
     }
 
     /// One-way latency core → core (three-hop forwarding).
@@ -178,8 +178,7 @@ impl SocketTopology {
 
     /// One-way latency bank → core.
     pub fn bank_core_latency(&self, bank: usize, core: usize, bytes: u64) -> u64 {
-        self.mesh
-            .latency(self.banks[bank], self.cores[core], bytes)
+        self.mesh.latency(self.banks[bank], self.cores[core], bytes)
     }
 
     /// One-way latency LLC bank → memory controller for `channel`.

@@ -46,8 +46,8 @@ pub fn dir_capacity_bytes(cfg: &SystemConfig) -> f64 {
         DirectoryKind::SecDir(g) => {
             let slices = if cfg.cores >= 128 { 32.0 } else { 8.0 };
             slices
-                * (g.shared_sets * g.shared_ways
-                    + cfg.cores * g.private_sets * g.private_ways) as f64
+                * (g.shared_sets * g.shared_ways + cfg.cores * g.private_sets * g.private_ways)
+                    as f64
         }
         DirectoryKind::Unbounded => cfg.dir_entries(zerodev_common::config::Ratio::ONE) as f64,
         DirectoryKind::None => 0.0,

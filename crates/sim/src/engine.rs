@@ -107,6 +107,14 @@ impl Simulation {
         &self.sys
     }
 
+    /// Turns on the coherence-invariant oracle (`zerodev_core::oracle`):
+    /// every subsequent uncore transaction is replayed against a shadow
+    /// MESI model and checked. Must be called before the first reference
+    /// is simulated. Audited runs produce byte-identical statistics.
+    pub fn enable_audit(&mut self) {
+        self.sys.enable_audit();
+    }
+
     fn core_index(&self, socket: SocketId, core: CoreId) -> usize {
         socket.0 as usize * self.sys.config().cores + core.0 as usize
     }
@@ -134,7 +142,8 @@ impl Simulation {
                         pending_inv.extend(more);
                     }
                     InvalReason::Inclusion => {
-                        self.sys.inclusion_dirty_writeback(now, inv.socket, inv.block);
+                        self.sys
+                            .inclusion_dirty_writeback(now, inv.socket, inv.block);
                     }
                     InvalReason::Coherence => {
                         // Dirty data travelled with the ownership transfer.
@@ -202,6 +211,10 @@ impl Simulation {
             }
             heap.push(Reverse((done, t)));
         }
+
+        // A final exhaustive pass over every shadow-tracked block before
+        // the statistics are frozen (no-op unless auditing).
+        self.sys.audit_sweep();
 
         let (dr, dw) = self.sys.memory().dram_counts();
         SimResult {

@@ -322,7 +322,10 @@ mod tests {
         // A seed no other test uses keeps this isolated from the shared
         // process-wide cache.
         let seed = 0x51ee_d00d_0001;
-        let jobs = vec![job("blackscholes", seed, true), job("blackscholes", seed, true)];
+        let jobs = vec![
+            job("blackscholes", seed, true),
+            job("blackscholes", seed, true),
+        ];
         let outs = Engine::new(1).run_grid(&jobs);
         assert!(!outs[0].cache_hit);
         assert!(outs[1].cache_hit);
@@ -339,7 +342,10 @@ mod tests {
         let _g = lock();
         let seed = 0x51ee_d00d_0002;
         let before = summary();
-        let jobs = vec![job("fluidanimate", seed, true), job("fluidanimate", seed, true)];
+        let jobs = vec![
+            job("fluidanimate", seed, true),
+            job("fluidanimate", seed, true),
+        ];
         let _ = Engine::new(2).run_grid(&jobs);
         let after = summary();
         assert_eq!(after.runs_executed - before.runs_executed, 1);
@@ -356,8 +362,7 @@ mod tests {
         assert!(!outs[0].cache_hit && !outs[1].cache_hit);
         assert!(!Arc::ptr_eq(&outs[0].run, &outs[1].run));
         assert_eq!(
-            outs[0].run.result.completion_cycles,
-            outs[1].run.result.completion_cycles,
+            outs[0].run.result.completion_cycles, outs[1].run.result.completion_cycles,
             "deterministic recompute"
         );
     }

@@ -17,6 +17,12 @@ pub struct RunParams {
     /// `1` selects the exact serial path (no threads are spawned).
     /// Has no effect on simulation results — every run is deterministic.
     pub threads: usize,
+    /// Runs the coherence-invariant oracle (`zerodev_core::oracle`)
+    /// alongside the protocol engine: a shadow MESI model checked after
+    /// every uncore transaction, panicking with an event-log dump on the
+    /// first violation. Audited runs produce byte-identical statistics;
+    /// release sweeps leave this off and pay nothing.
+    pub audit: bool,
 }
 
 /// Worker count used when `ZERODEV_THREADS` is unset: all available cores.
@@ -34,6 +40,7 @@ impl Default for RunParams {
             refs_per_core: 100_000,
             warmup_refs: 25_000,
             threads: default_threads(),
+            audit: false,
         }
     }
 }
@@ -48,8 +55,9 @@ impl RunParams {
         }
     }
 
-    /// Reads `ZERODEV_QUICK=1` to switch every harness to the quick profile
-    /// and `ZERODEV_THREADS=N` to set the sweep worker count (`1` = serial).
+    /// Reads `ZERODEV_QUICK=1` to switch every harness to the quick profile,
+    /// `ZERODEV_THREADS=N` to set the sweep worker count (`1` = serial), and
+    /// `ZERODEV_AUDIT=1` to run every simulation under the coherence oracle.
     pub fn from_env() -> Self {
         let mut p = if std::env::var("ZERODEV_QUICK").is_ok_and(|v| v == "1") {
             Self::quick()
@@ -62,13 +70,17 @@ impl RunParams {
         {
             p.threads = n.max(1);
         }
+        p.audit = std::env::var("ZERODEV_AUDIT").is_ok_and(|v| v == "1");
         p
     }
 }
 
 /// Runs `workload` on the machine in `cfg` and attaches the energy report.
 pub fn run(cfg: &SystemConfig, workload: Workload, params: &RunParams) -> RunWithEnergy {
-    let sim = Simulation::new(cfg, workload);
+    let mut sim = Simulation::new(cfg, workload);
+    if params.audit {
+        sim.enable_audit();
+    }
     let result = sim.run(params.refs_per_core, params.warmup_refs);
     let e = energy(cfg, &result.stats, result.completion_cycles);
     RunWithEnergy { result, energy: e }

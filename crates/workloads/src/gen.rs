@@ -200,10 +200,7 @@ impl Alloc {
         }
     }
     fn region(&mut self, blocks: u64) -> u64 {
-        let stagger = self
-            .count
-            .wrapping_mul(0x2545_f491_4f6c_dd1d)
-            % (REGION_STRIDE / 2);
+        let stagger = self.count.wrapping_mul(0x2545_f491_4f6c_dd1d) % (REGION_STRIDE / 2);
         self.count += 1;
         // Reserve the stagger headroom plus the footprint.
         let slots = (blocks + REGION_STRIDE / 2).div_ceil(REGION_STRIDE).max(1);
@@ -323,10 +320,9 @@ pub fn server(name: &str, threads: usize, seed: u64) -> Option<Workload> {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 #[cfg(test)]

@@ -125,80 +125,218 @@ pub fn lookup(name: &str) -> Option<WorkloadSpec> {
     use Suite::*;
     let s = match name {
         // ---- PARSEC -----------------------------------------------------
-        "blackscholes" => spec!("blackscholes", Parsec, { priv_blocks: 2048, priv_theta: 0.2, srw_blocks: 256, p_srw: 0.01, mean_gap: 5 }),
-        "canneal" => spec!("canneal", Parsec, { priv_blocks: 32768, priv_theta: 0.1, srw_blocks: 8192, p_srw: 0.06, wr_srw: 0.35, mean_gap: 3 }),
-        "dedup" => spec!("dedup", Parsec, { priv_blocks: 3456, priv_theta: 0.4, sro_blocks: 4096, p_sro: 0.10, srw_blocks: 2048, p_srw: 0.05 }),
-        "facesim" => spec!("facesim", Parsec, { priv_blocks: 12288, priv_theta: 0.3, srw_blocks: 2048, p_srw: 0.04 }),
-        "ferret" => spec!("ferret", Parsec, { priv_blocks: 3328, priv_theta: 0.5, sro_blocks: 8192, p_sro: 0.15 }),
-        "fluidanimate" => spec!("fluidanimate", Parsec, { priv_blocks: 3584, priv_theta: 0.3, srw_blocks: 3072, p_srw: 0.08, wr_srw: 0.40 }),
-        "freqmine" => spec!("freqmine", Parsec, { priv_blocks: 10240, priv_theta: 0.5, wr_priv: 0.40, srw_blocks: 6144, p_srw: 0.12, wr_srw: 0.45, mean_gap: 3 }),
-        "streamcluster" => spec!("streamcluster", Parsec, { priv_blocks: 3072, priv_theta: 0.2, sro_blocks: 6144, p_sro: 0.25, mean_gap: 3 }),
-        "swaptions" => spec!("swaptions", Parsec, { priv_blocks: 2048, priv_theta: 0.6, srw_blocks: 128, p_srw: 0.005, mean_gap: 5 }),
-        "vips" => spec!("vips", Parsec, { priv_blocks: 14336, priv_theta: 0.15, srw_blocks: 1024, p_srw: 0.02, mean_gap: 3 }),
+        "blackscholes" => {
+            spec!("blackscholes", Parsec, { priv_blocks: 2048, priv_theta: 0.2, srw_blocks: 256, p_srw: 0.01, mean_gap: 5 })
+        }
+        "canneal" => {
+            spec!("canneal", Parsec, { priv_blocks: 32768, priv_theta: 0.1, srw_blocks: 8192, p_srw: 0.06, wr_srw: 0.35, mean_gap: 3 })
+        }
+        "dedup" => {
+            spec!("dedup", Parsec, { priv_blocks: 3456, priv_theta: 0.4, sro_blocks: 4096, p_sro: 0.10, srw_blocks: 2048, p_srw: 0.05 })
+        }
+        "facesim" => {
+            spec!("facesim", Parsec, { priv_blocks: 12288, priv_theta: 0.3, srw_blocks: 2048, p_srw: 0.04 })
+        }
+        "ferret" => {
+            spec!("ferret", Parsec, { priv_blocks: 3328, priv_theta: 0.5, sro_blocks: 8192, p_sro: 0.15 })
+        }
+        "fluidanimate" => {
+            spec!("fluidanimate", Parsec, { priv_blocks: 3584, priv_theta: 0.3, srw_blocks: 3072, p_srw: 0.08, wr_srw: 0.40 })
+        }
+        "freqmine" => {
+            spec!("freqmine", Parsec, { priv_blocks: 10240, priv_theta: 0.5, wr_priv: 0.40, srw_blocks: 6144, p_srw: 0.12, wr_srw: 0.45, mean_gap: 3 })
+        }
+        "streamcluster" => {
+            spec!("streamcluster", Parsec, { priv_blocks: 3072, priv_theta: 0.2, sro_blocks: 6144, p_sro: 0.25, mean_gap: 3 })
+        }
+        "swaptions" => {
+            spec!("swaptions", Parsec, { priv_blocks: 2048, priv_theta: 0.6, srw_blocks: 128, p_srw: 0.005, mean_gap: 5 })
+        }
+        "vips" => {
+            spec!("vips", Parsec, { priv_blocks: 14336, priv_theta: 0.15, srw_blocks: 1024, p_srw: 0.02, mean_gap: 3 })
+        }
         // ---- SPLASH2X ---------------------------------------------------
-        "fft" => spec!("fft", Splash2x, { priv_blocks: 8192, priv_theta: 0.1, srw_blocks: 8192, p_srw: 0.15, mean_gap: 3 }),
-        "lu_cb" => spec!("lu_cb", Splash2x, { priv_blocks: 3456, priv_theta: 0.4, sro_blocks: 4096, p_sro: 0.10 }),
-        "lu_ncb" => spec!("lu_ncb", Splash2x, { priv_blocks: 13312, priv_theta: 0.2, srw_blocks: 6144, p_srw: 0.18, wr_srw: 0.25, mean_gap: 3 }),
-        "radix" => spec!("radix", Splash2x, { priv_blocks: 10240, priv_theta: 0.1, srw_blocks: 4096, p_srw: 0.12, wr_srw: 0.50, mean_gap: 3 }),
-        "ocean_cp" => spec!("ocean_cp", Splash2x, { priv_blocks: 14336, priv_theta: 0.2, srw_blocks: 6144, p_srw: 0.15, mean_gap: 3 }),
-        "radiosity" => spec!("radiosity", Splash2x, { priv_blocks: 3072, priv_theta: 0.5, srw_blocks: 6144, p_srw: 0.20, wr_srw: 0.20 }),
-        "raytrace" => spec!("raytrace", Splash2x, { priv_blocks: 3200, priv_theta: 0.4, sro_blocks: 10240, p_sro: 0.30 }),
-        "water_nsquared" => spec!("water_nsquared", Splash2x, { priv_blocks: 3072, priv_theta: 0.5, srw_blocks: 4096, p_srw: 0.25, wr_srw: 0.20 }),
-        "water_spatial" => spec!("water_spatial", Splash2x, { priv_blocks: 3072, priv_theta: 0.5, srw_blocks: 3072, p_srw: 0.15, wr_srw: 0.20 }),
+        "fft" => {
+            spec!("fft", Splash2x, { priv_blocks: 8192, priv_theta: 0.1, srw_blocks: 8192, p_srw: 0.15, mean_gap: 3 })
+        }
+        "lu_cb" => {
+            spec!("lu_cb", Splash2x, { priv_blocks: 3456, priv_theta: 0.4, sro_blocks: 4096, p_sro: 0.10 })
+        }
+        "lu_ncb" => {
+            spec!("lu_ncb", Splash2x, { priv_blocks: 13312, priv_theta: 0.2, srw_blocks: 6144, p_srw: 0.18, wr_srw: 0.25, mean_gap: 3 })
+        }
+        "radix" => {
+            spec!("radix", Splash2x, { priv_blocks: 10240, priv_theta: 0.1, srw_blocks: 4096, p_srw: 0.12, wr_srw: 0.50, mean_gap: 3 })
+        }
+        "ocean_cp" => {
+            spec!("ocean_cp", Splash2x, { priv_blocks: 14336, priv_theta: 0.2, srw_blocks: 6144, p_srw: 0.15, mean_gap: 3 })
+        }
+        "radiosity" => {
+            spec!("radiosity", Splash2x, { priv_blocks: 3072, priv_theta: 0.5, srw_blocks: 6144, p_srw: 0.20, wr_srw: 0.20 })
+        }
+        "raytrace" => {
+            spec!("raytrace", Splash2x, { priv_blocks: 3200, priv_theta: 0.4, sro_blocks: 10240, p_sro: 0.30 })
+        }
+        "water_nsquared" => {
+            spec!("water_nsquared", Splash2x, { priv_blocks: 3072, priv_theta: 0.5, srw_blocks: 4096, p_srw: 0.25, wr_srw: 0.20 })
+        }
+        "water_spatial" => {
+            spec!("water_spatial", Splash2x, { priv_blocks: 3072, priv_theta: 0.5, srw_blocks: 3072, p_srw: 0.15, wr_srw: 0.20 })
+        }
         // ---- SPEC OMP ---------------------------------------------------
-        "312.swim" => spec!("312.swim", SpecOmp, { priv_blocks: 12288, priv_theta: 0.1, srw_blocks: 512, p_srw: 0.01, mean_gap: 3 }),
-        "314.mgrid" => spec!("314.mgrid", SpecOmp, { priv_blocks: 10240, priv_theta: 0.2, srw_blocks: 512, p_srw: 0.01, mean_gap: 3 }),
-        "316.applu" => spec!("316.applu", SpecOmp, { priv_blocks: 9216, priv_theta: 0.2, srw_blocks: 512, p_srw: 0.01, mean_gap: 3 }),
-        "320.equake" => spec!("320.equake", SpecOmp, { priv_blocks: 8192, priv_theta: 0.3, srw_blocks: 1024, p_srw: 0.02, mean_gap: 3 }),
-        "324.apsi" => spec!("324.apsi", SpecOmp, { priv_blocks: 3584, priv_theta: 0.3, srw_blocks: 512, p_srw: 0.01 }),
-        "330.art" => spec!("330.art", SpecOmp, { priv_blocks: 13312, priv_theta: 0.25, srw_blocks: 256, p_srw: 0.005, mean_gap: 3 }),
+        "312.swim" => {
+            spec!("312.swim", SpecOmp, { priv_blocks: 12288, priv_theta: 0.1, srw_blocks: 512, p_srw: 0.01, mean_gap: 3 })
+        }
+        "314.mgrid" => {
+            spec!("314.mgrid", SpecOmp, { priv_blocks: 10240, priv_theta: 0.2, srw_blocks: 512, p_srw: 0.01, mean_gap: 3 })
+        }
+        "316.applu" => {
+            spec!("316.applu", SpecOmp, { priv_blocks: 9216, priv_theta: 0.2, srw_blocks: 512, p_srw: 0.01, mean_gap: 3 })
+        }
+        "320.equake" => {
+            spec!("320.equake", SpecOmp, { priv_blocks: 8192, priv_theta: 0.3, srw_blocks: 1024, p_srw: 0.02, mean_gap: 3 })
+        }
+        "324.apsi" => {
+            spec!("324.apsi", SpecOmp, { priv_blocks: 3584, priv_theta: 0.3, srw_blocks: 512, p_srw: 0.01 })
+        }
+        "330.art" => {
+            spec!("330.art", SpecOmp, { priv_blocks: 13312, priv_theta: 0.25, srw_blocks: 256, p_srw: 0.005, mean_gap: 3 })
+        }
         // ---- FFTW -------------------------------------------------------
-        "FFTW" => spec!("FFTW", Fftw, { priv_blocks: 12288, priv_theta: 0.1, wr_priv: 0.20, srw_blocks: 2048, p_srw: 0.03, wr_srw: 0.40, mean_gap: 3 }),
+        "FFTW" => {
+            spec!("FFTW", Fftw, { priv_blocks: 12288, priv_theta: 0.1, wr_priv: 0.20, srw_blocks: 2048, p_srw: 0.03, wr_srw: 0.40, mean_gap: 3 })
+        }
         // ---- SPEC CPU 2017 rate ------------------------------------------
-        "blender" => spec!("blender", Cpu2017, { priv_blocks: 3584, code_blocks: 2048, p_code: 0.08 }),
-        "bwaves.1" => spec!("bwaves.1", Cpu2017, { priv_blocks: 12288, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "bwaves.2" => spec!("bwaves.2", Cpu2017, { priv_blocks: 12800, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "bwaves.3" => spec!("bwaves.3", Cpu2017, { priv_blocks: 11776, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "bwaves.4" => spec!("bwaves.4", Cpu2017, { priv_blocks: 12288, priv_theta: 0.18, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "cactuBSSN" => spec!("cactuBSSN", Cpu2017, { priv_blocks: 10240, priv_theta: 0.2, code_blocks: 1024, p_code: 0.05, mean_gap: 3 }),
-        "cam4" => spec!("cam4", Cpu2017, { priv_blocks: 3712, priv_theta: 0.35, code_blocks: 2048, p_code: 0.10 }),
-        "deepsjeng" => spec!("deepsjeng", Cpu2017, { priv_blocks: 3072, priv_theta: 0.5, code_blocks: 1024, p_code: 0.08, mean_gap: 5 }),
-        "exchange2" => spec!("exchange2", Cpu2017, { priv_blocks: 1024, priv_theta: 0.6, code_blocks: 512, p_code: 0.10, mean_gap: 6 }),
-        "fotonik3d" => spec!("fotonik3d", Cpu2017, { priv_blocks: 12288, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "gcc.pp" => spec!("gcc.pp", Cpu2017, { priv_blocks: 3328, priv_theta: 0.35, code_blocks: 3072, p_code: 0.12 }),
-        "gcc.ppO2" => spec!("gcc.ppO2", Cpu2017, { priv_blocks: 11264, priv_theta: 0.2, code_blocks: 3072, p_code: 0.12, mean_gap: 3 }),
-        "gcc.ref32" => spec!("gcc.ref32", Cpu2017, { priv_blocks: 3456, priv_theta: 0.35, code_blocks: 3072, p_code: 0.12 }),
-        "gcc.ref32O5" => spec!("gcc.ref32O5", Cpu2017, { priv_blocks: 3584, priv_theta: 0.3, code_blocks: 3072, p_code: 0.12 }),
-        "gcc.smaller" => spec!("gcc.smaller", Cpu2017, { priv_blocks: 3072, priv_theta: 0.4, code_blocks: 3072, p_code: 0.12 }),
-        "imagick" => spec!("imagick", Cpu2017, { priv_blocks: 2560, priv_theta: 0.5, code_blocks: 1024, p_code: 0.06 }),
-        "lbm" => spec!("lbm", Cpu2017, { priv_blocks: 14336, priv_theta: 0.1, code_blocks: 256, p_code: 0.02, mean_gap: 3 }),
-        "leela" => spec!("leela", Cpu2017, { priv_blocks: 2048, priv_theta: 0.5, code_blocks: 1024, p_code: 0.08, mean_gap: 5 }),
-        "mcf" => spec!("mcf", Cpu2017, { priv_blocks: 13312, priv_theta: 0.25, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "nab" => spec!("nab", Cpu2017, { priv_blocks: 3072, priv_theta: 0.4, code_blocks: 512, p_code: 0.05 }),
-        "namd" => spec!("namd", Cpu2017, { priv_blocks: 3328, priv_theta: 0.4, code_blocks: 1024, p_code: 0.05 }),
-        "omnetpp" => spec!("omnetpp", Cpu2017, { priv_blocks: 3584, priv_theta: 0.3, code_blocks: 2048, p_code: 0.10 }),
-        "parest" => spec!("parest", Cpu2017, { priv_blocks: 3200, priv_theta: 0.3, code_blocks: 1024, p_code: 0.06 }),
-        "perl.check" => spec!("perl.check", Cpu2017, { priv_blocks: 3328, priv_theta: 0.45, code_blocks: 2048, p_code: 0.12 }),
-        "perl.diff" => spec!("perl.diff", Cpu2017, { priv_blocks: 3200, priv_theta: 0.45, code_blocks: 2048, p_code: 0.12 }),
-        "perl.split" => spec!("perl.split", Cpu2017, { priv_blocks: 3456, priv_theta: 0.45, code_blocks: 2048, p_code: 0.12 }),
-        "povray" => spec!("povray", Cpu2017, { priv_blocks: 2048, priv_theta: 0.6, code_blocks: 1024, p_code: 0.10, mean_gap: 5 }),
-        "roms" => spec!("roms", Cpu2017, { priv_blocks: 11264, priv_theta: 0.2, code_blocks: 512, p_code: 0.04, mean_gap: 3 }),
-        "wrf" => spec!("wrf", Cpu2017, { priv_blocks: 3648, priv_theta: 0.3, code_blocks: 2048, p_code: 0.08 }),
-        "x264.pass1" => spec!("x264.pass1", Cpu2017, { priv_blocks: 3456, priv_theta: 0.35, code_blocks: 1024, p_code: 0.06 }),
-        "x264.pass2" => spec!("x264.pass2", Cpu2017, { priv_blocks: 3520, priv_theta: 0.35, code_blocks: 1024, p_code: 0.06 }),
-        "x264.seek500" => spec!("x264.seek500", Cpu2017, { priv_blocks: 3392, priv_theta: 0.35, code_blocks: 1024, p_code: 0.06 }),
-        "xalancbmk" => spec!("xalancbmk", Cpu2017, { priv_blocks: 6500, priv_theta: 0.45, wr_priv: 0.25, code_blocks: 2048, p_code: 0.10, mean_gap: 3 }),
-        "xz.cld" => spec!("xz.cld", Cpu2017, { priv_blocks: 3520, priv_theta: 0.3, code_blocks: 512, p_code: 0.05 }),
-        "xz.docs" => spec!("xz.docs", Cpu2017, { priv_blocks: 3328, priv_theta: 0.3, code_blocks: 512, p_code: 0.05 }),
-        "xz.combined" => spec!("xz.combined", Cpu2017, { priv_blocks: 3712, priv_theta: 0.3, code_blocks: 512, p_code: 0.05 }),
+        "blender" => {
+            spec!("blender", Cpu2017, { priv_blocks: 3584, code_blocks: 2048, p_code: 0.08 })
+        }
+        "bwaves.1" => {
+            spec!("bwaves.1", Cpu2017, { priv_blocks: 12288, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "bwaves.2" => {
+            spec!("bwaves.2", Cpu2017, { priv_blocks: 12800, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "bwaves.3" => {
+            spec!("bwaves.3", Cpu2017, { priv_blocks: 11776, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "bwaves.4" => {
+            spec!("bwaves.4", Cpu2017, { priv_blocks: 12288, priv_theta: 0.18, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "cactuBSSN" => {
+            spec!("cactuBSSN", Cpu2017, { priv_blocks: 10240, priv_theta: 0.2, code_blocks: 1024, p_code: 0.05, mean_gap: 3 })
+        }
+        "cam4" => {
+            spec!("cam4", Cpu2017, { priv_blocks: 3712, priv_theta: 0.35, code_blocks: 2048, p_code: 0.10 })
+        }
+        "deepsjeng" => {
+            spec!("deepsjeng", Cpu2017, { priv_blocks: 3072, priv_theta: 0.5, code_blocks: 1024, p_code: 0.08, mean_gap: 5 })
+        }
+        "exchange2" => {
+            spec!("exchange2", Cpu2017, { priv_blocks: 1024, priv_theta: 0.6, code_blocks: 512, p_code: 0.10, mean_gap: 6 })
+        }
+        "fotonik3d" => {
+            spec!("fotonik3d", Cpu2017, { priv_blocks: 12288, priv_theta: 0.15, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "gcc.pp" => {
+            spec!("gcc.pp", Cpu2017, { priv_blocks: 3328, priv_theta: 0.35, code_blocks: 3072, p_code: 0.12 })
+        }
+        "gcc.ppO2" => {
+            spec!("gcc.ppO2", Cpu2017, { priv_blocks: 11264, priv_theta: 0.2, code_blocks: 3072, p_code: 0.12, mean_gap: 3 })
+        }
+        "gcc.ref32" => {
+            spec!("gcc.ref32", Cpu2017, { priv_blocks: 3456, priv_theta: 0.35, code_blocks: 3072, p_code: 0.12 })
+        }
+        "gcc.ref32O5" => {
+            spec!("gcc.ref32O5", Cpu2017, { priv_blocks: 3584, priv_theta: 0.3, code_blocks: 3072, p_code: 0.12 })
+        }
+        "gcc.smaller" => {
+            spec!("gcc.smaller", Cpu2017, { priv_blocks: 3072, priv_theta: 0.4, code_blocks: 3072, p_code: 0.12 })
+        }
+        "imagick" => {
+            spec!("imagick", Cpu2017, { priv_blocks: 2560, priv_theta: 0.5, code_blocks: 1024, p_code: 0.06 })
+        }
+        "lbm" => {
+            spec!("lbm", Cpu2017, { priv_blocks: 14336, priv_theta: 0.1, code_blocks: 256, p_code: 0.02, mean_gap: 3 })
+        }
+        "leela" => {
+            spec!("leela", Cpu2017, { priv_blocks: 2048, priv_theta: 0.5, code_blocks: 1024, p_code: 0.08, mean_gap: 5 })
+        }
+        "mcf" => {
+            spec!("mcf", Cpu2017, { priv_blocks: 13312, priv_theta: 0.25, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "nab" => {
+            spec!("nab", Cpu2017, { priv_blocks: 3072, priv_theta: 0.4, code_blocks: 512, p_code: 0.05 })
+        }
+        "namd" => {
+            spec!("namd", Cpu2017, { priv_blocks: 3328, priv_theta: 0.4, code_blocks: 1024, p_code: 0.05 })
+        }
+        "omnetpp" => {
+            spec!("omnetpp", Cpu2017, { priv_blocks: 3584, priv_theta: 0.3, code_blocks: 2048, p_code: 0.10 })
+        }
+        "parest" => {
+            spec!("parest", Cpu2017, { priv_blocks: 3200, priv_theta: 0.3, code_blocks: 1024, p_code: 0.06 })
+        }
+        "perl.check" => {
+            spec!("perl.check", Cpu2017, { priv_blocks: 3328, priv_theta: 0.45, code_blocks: 2048, p_code: 0.12 })
+        }
+        "perl.diff" => {
+            spec!("perl.diff", Cpu2017, { priv_blocks: 3200, priv_theta: 0.45, code_blocks: 2048, p_code: 0.12 })
+        }
+        "perl.split" => {
+            spec!("perl.split", Cpu2017, { priv_blocks: 3456, priv_theta: 0.45, code_blocks: 2048, p_code: 0.12 })
+        }
+        "povray" => {
+            spec!("povray", Cpu2017, { priv_blocks: 2048, priv_theta: 0.6, code_blocks: 1024, p_code: 0.10, mean_gap: 5 })
+        }
+        "roms" => {
+            spec!("roms", Cpu2017, { priv_blocks: 11264, priv_theta: 0.2, code_blocks: 512, p_code: 0.04, mean_gap: 3 })
+        }
+        "wrf" => {
+            spec!("wrf", Cpu2017, { priv_blocks: 3648, priv_theta: 0.3, code_blocks: 2048, p_code: 0.08 })
+        }
+        "x264.pass1" => {
+            spec!("x264.pass1", Cpu2017, { priv_blocks: 3456, priv_theta: 0.35, code_blocks: 1024, p_code: 0.06 })
+        }
+        "x264.pass2" => {
+            spec!("x264.pass2", Cpu2017, { priv_blocks: 3520, priv_theta: 0.35, code_blocks: 1024, p_code: 0.06 })
+        }
+        "x264.seek500" => {
+            spec!("x264.seek500", Cpu2017, { priv_blocks: 3392, priv_theta: 0.35, code_blocks: 1024, p_code: 0.06 })
+        }
+        "xalancbmk" => {
+            spec!("xalancbmk", Cpu2017, { priv_blocks: 6500, priv_theta: 0.45, wr_priv: 0.25, code_blocks: 2048, p_code: 0.10, mean_gap: 3 })
+        }
+        "xz.cld" => {
+            spec!("xz.cld", Cpu2017, { priv_blocks: 3520, priv_theta: 0.3, code_blocks: 512, p_code: 0.05 })
+        }
+        "xz.docs" => {
+            spec!("xz.docs", Cpu2017, { priv_blocks: 3328, priv_theta: 0.3, code_blocks: 512, p_code: 0.05 })
+        }
+        "xz.combined" => {
+            spec!("xz.combined", Cpu2017, { priv_blocks: 3712, priv_theta: 0.3, code_blocks: 512, p_code: 0.05 })
+        }
         // ---- Server -----------------------------------------------------
-        "SPECjbb" => spec!("SPECjbb", Server, { priv_blocks: 2048, priv_theta: 0.4, sro_blocks: 40960, p_sro: 0.20, srw_blocks: 20480, p_srw: 0.10, code_blocks: 4096, p_code: 0.15 }),
-        "SPECWeb-B" => spec!("SPECWeb-B", Server, { priv_blocks: 1536, priv_theta: 0.4, sro_blocks: 51200, p_sro: 0.25, srw_blocks: 10240, p_srw: 0.08, wr_srw: 0.25, code_blocks: 6144, p_code: 0.18 }),
-        "SPECWeb-E" => spec!("SPECWeb-E", Server, { priv_blocks: 1536, priv_theta: 0.4, sro_blocks: 51200, p_sro: 0.25, srw_blocks: 12288, p_srw: 0.08, wr_srw: 0.25, code_blocks: 6144, p_code: 0.18 }),
-        "SPECWeb-S" => spec!("SPECWeb-S", Server, { priv_blocks: 1536, priv_theta: 0.4, sro_blocks: 51200, p_sro: 0.25, srw_blocks: 16384, p_srw: 0.10, wr_srw: 0.30, code_blocks: 6144, p_code: 0.18 }),
-        "TPC-C" => spec!("TPC-C", Server, { priv_blocks: 2048, priv_theta: 0.4, sro_blocks: 61440, p_sro: 0.30, srw_blocks: 25600, p_srw: 0.12, wr_srw: 0.35, code_blocks: 5120, p_code: 0.15 }),
-        "TPC-E" => spec!("TPC-E", Server, { priv_blocks: 2048, priv_theta: 0.4, sro_blocks: 61440, p_sro: 0.30, srw_blocks: 20480, p_srw: 0.10, wr_srw: 0.20, code_blocks: 5120, p_code: 0.15 }),
-        "TPC-H" => spec!("TPC-H", Server, { priv_blocks: 4096, priv_theta: 0.1, sro_blocks: 81920, p_sro: 0.40, srw_blocks: 5120, p_srw: 0.03, code_blocks: 3072, p_code: 0.10, mean_gap: 3 }),
+        "SPECjbb" => {
+            spec!("SPECjbb", Server, { priv_blocks: 2048, priv_theta: 0.4, sro_blocks: 40960, p_sro: 0.20, srw_blocks: 20480, p_srw: 0.10, code_blocks: 4096, p_code: 0.15 })
+        }
+        "SPECWeb-B" => {
+            spec!("SPECWeb-B", Server, { priv_blocks: 1536, priv_theta: 0.4, sro_blocks: 51200, p_sro: 0.25, srw_blocks: 10240, p_srw: 0.08, wr_srw: 0.25, code_blocks: 6144, p_code: 0.18 })
+        }
+        "SPECWeb-E" => {
+            spec!("SPECWeb-E", Server, { priv_blocks: 1536, priv_theta: 0.4, sro_blocks: 51200, p_sro: 0.25, srw_blocks: 12288, p_srw: 0.08, wr_srw: 0.25, code_blocks: 6144, p_code: 0.18 })
+        }
+        "SPECWeb-S" => {
+            spec!("SPECWeb-S", Server, { priv_blocks: 1536, priv_theta: 0.4, sro_blocks: 51200, p_sro: 0.25, srw_blocks: 16384, p_srw: 0.10, wr_srw: 0.30, code_blocks: 6144, p_code: 0.18 })
+        }
+        "TPC-C" => {
+            spec!("TPC-C", Server, { priv_blocks: 2048, priv_theta: 0.4, sro_blocks: 61440, p_sro: 0.30, srw_blocks: 25600, p_srw: 0.12, wr_srw: 0.35, code_blocks: 5120, p_code: 0.15 })
+        }
+        "TPC-E" => {
+            spec!("TPC-E", Server, { priv_blocks: 2048, priv_theta: 0.4, sro_blocks: 61440, p_sro: 0.30, srw_blocks: 20480, p_srw: 0.10, wr_srw: 0.20, code_blocks: 5120, p_code: 0.15 })
+        }
+        "TPC-H" => {
+            spec!("TPC-H", Server, { priv_blocks: 4096, priv_theta: 0.1, sro_blocks: 81920, p_sro: 0.40, srw_blocks: 5120, p_srw: 0.03, code_blocks: 3072, p_code: 0.10, mean_gap: 3 })
+        }
         _ => return None,
     };
     // Temporal-locality classes (fraction of private references hitting the
@@ -209,26 +347,44 @@ pub fn lookup(name: &str) -> Option<WorkloadSpec> {
     s.p_hot = match name {
         "canneal" => 0.70,
         "vips" | "fft" | "radix" | "ocean_cp" | "lu_ncb" | "312.swim" | "314.mgrid"
-        | "316.applu" | "330.art" | "FFTW" | "bwaves.1" | "bwaves.2" | "bwaves.3"
-        | "bwaves.4" | "fotonik3d" | "lbm" | "roms" | "mcf" | "cactuBSSN" => 0.80,
-        "facesim" | "fluidanimate" | "freqmine" | "dedup" | "streamcluster"
-        | "320.equake" | "324.apsi" | "blender" | "cam4" | "gcc.pp" | "gcc.ppO2"
-        | "gcc.ref32" | "gcc.ref32O5" | "gcc.smaller" | "omnetpp" | "parest" | "wrf"
-        | "xz.cld" | "xz.docs" | "xz.combined" => 0.88,
+        | "316.applu" | "330.art" | "FFTW" | "bwaves.1" | "bwaves.2" | "bwaves.3" | "bwaves.4"
+        | "fotonik3d" | "lbm" | "roms" | "mcf" | "cactuBSSN" => 0.80,
+        "facesim" | "fluidanimate" | "freqmine" | "dedup" | "streamcluster" | "320.equake"
+        | "324.apsi" | "blender" | "cam4" | "gcc.pp" | "gcc.ppO2" | "gcc.ref32" | "gcc.ref32O5"
+        | "gcc.smaller" | "omnetpp" | "parest" | "wrf" | "xz.cld" | "xz.docs" | "xz.combined" => {
+            0.88
+        }
         "xalancbmk" => 0.85,
         "ferret" => 0.92,
-        "SPECjbb" | "SPECWeb-B" | "SPECWeb-E" | "SPECWeb-S" | "TPC-C" | "TPC-E"
-        | "TPC-H" => 0.85,
+        "SPECjbb" | "SPECWeb-B" | "SPECWeb-E" | "SPECWeb-S" | "TPC-C" | "TPC-E" | "TPC-H" => 0.85,
         _ => 0.96,
     };
     s.hot_blocks = s.hot_blocks.min(s.priv_blocks);
     // Cold-access pattern and memory-level parallelism classes.
     let streaming = matches!(
         name,
-        "vips" | "facesim" | "fft" | "radix" | "ocean_cp" | "lu_ncb" | "312.swim"
-            | "314.mgrid" | "316.applu" | "320.equake" | "330.art" | "FFTW" | "bwaves.1"
-            | "bwaves.2" | "bwaves.3" | "bwaves.4" | "fotonik3d" | "lbm" | "roms"
-            | "cactuBSSN" | "gcc.ppO2" | "TPC-H"
+        "vips"
+            | "facesim"
+            | "fft"
+            | "radix"
+            | "ocean_cp"
+            | "lu_ncb"
+            | "312.swim"
+            | "314.mgrid"
+            | "316.applu"
+            | "320.equake"
+            | "330.art"
+            | "FFTW"
+            | "bwaves.1"
+            | "bwaves.2"
+            | "bwaves.3"
+            | "bwaves.4"
+            | "fotonik3d"
+            | "lbm"
+            | "roms"
+            | "cactuBSSN"
+            | "gcc.ppO2"
+            | "TPC-H"
     );
     let pointer_chasing = matches!(name, "canneal" | "mcf" | "omnetpp" | "xalancbmk");
     if streaming {

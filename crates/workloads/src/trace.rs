@@ -43,7 +43,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -160,13 +164,14 @@ impl FromStr for Trace {
                     })
                 }
             };
-            let gap: u32 = parts
-                .next()
-                .and_then(|t| t.parse().ok())
-                .ok_or_else(|| ParseTraceError {
-                    line: lineno,
-                    message: "bad gap".into(),
-                })?;
+            let gap: u32 =
+                parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| ParseTraceError {
+                        line: lineno,
+                        message: "bad gap".into(),
+                    })?;
             if parts.next().is_some() {
                 return Err(ParseTraceError {
                     line: lineno,
@@ -218,18 +223,26 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_input() {
         assert!("zzz r 1".parse::<Trace>().is_err());
-        assert!("@thread 1\n40 r 1".parse::<Trace>().is_err(), "non-sequential");
+        assert!(
+            "@thread 1\n40 r 1".parse::<Trace>().is_err(),
+            "non-sequential"
+        );
         assert!("40 r 1".parse::<Trace>().is_err(), "no thread marker");
         let e = "@thread 0\n40 x 1".parse::<Trace>().unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("bad flag"));
         assert!("@thread 0\n40 r".parse::<Trace>().is_err(), "missing gap");
-        assert!("@thread 0\n40 r 1 zzz".parse::<Trace>().is_err(), "trailing");
+        assert!(
+            "@thread 0\n40 r 1 zzz".parse::<Trace>().is_err(),
+            "trailing"
+        );
     }
 
     #[test]
     fn comments_and_blanks_ignored() {
-        let t: Trace = "# header\n\n@thread 0\n# mid comment\nff w 3\n".parse().unwrap();
+        let t: Trace = "# header\n\n@thread 0\n# mid comment\nff w 3\n"
+            .parse()
+            .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.threads[0][0].block, BlockAddr(0xff));
         assert!(t.threads[0][0].write);

@@ -27,7 +27,9 @@ fn prime_probe(mut sys: System, victim_accesses: u64) -> u64 {
     let victim = CoreId(1);
     let s0 = SocketId(0);
     // Prime: attacker fills directory sets with its own tracked blocks.
-    let attacker_blocks: Vec<BlockAddr> = (0..PRIME_BLOCKS).map(|i| BlockAddr(0x10_0000 + i)).collect();
+    let attacker_blocks: Vec<BlockAddr> = (0..PRIME_BLOCKS)
+        .map(|i| BlockAddr(0x10_0000 + i))
+        .collect();
     let mut attacker_live: Vec<bool> = vec![true; attacker_blocks.len()];
     for &b in &attacker_blocks {
         let r = sys.access(Cycle(0), s0, attacker, b, Op::Read);
@@ -78,8 +80,8 @@ fn main() {
     // A small directory makes the channel loud in the baseline.
     let mut base_cfg = SystemConfig::baseline_8core().with_sparse_dir(Ratio::new(1, 8));
     base_cfg.cores = 2;
-    let mut zd_cfg = SystemConfig::baseline_8core()
-        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let mut zd_cfg =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
     zd_cfg.cores = 2;
 
     println!("directory Prime+Probe: attacker blocks lost to victim activity\n");

@@ -21,14 +21,7 @@ fn main() {
     let wl = || rate("xalancbmk", 8, 7).expect("known app");
     let base = run(&SystemConfig::baseline_8core(), wl(), &params);
 
-    let mut t = Table::new(&[
-        "config",
-        "speedup",
-        "DEVs",
-        "spills",
-        "fuses",
-        "wb_de",
-    ]);
+    let mut t = Table::new(&["config", "speedup", "DEVs", "spills", "fuses", "wb_de"]);
     for (num, den) in [(1u32, 1u32), (1, 2), (1, 8), (1, 32)] {
         let ratio = Ratio::new(num, den);
         // Baseline with a shrinking sparse directory.

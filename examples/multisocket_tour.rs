@@ -14,8 +14,8 @@ use zerodev_core::{EvictKind, Op, System};
 
 fn main() {
     // Four sockets, tiny LLCs so spills reach memory quickly.
-    let mut cfg = SystemConfig::four_socket()
-        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let mut cfg =
+        SystemConfig::four_socket().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
     cfg.cores = 4;
     cfg.l1i = CacheGeometry::new(4 << 10, 2);
     cfg.l1d = CacheGeometry::new(4 << 10, 2);
@@ -29,7 +29,10 @@ fn main() {
     let sets = cfg.llc_sets_per_bank() as u64;
     let banks = cfg.llc_banks as u64;
     let blocks: Vec<BlockAddr> = (0..10).map(|i| BlockAddr(banks * (3 + i * sets))).collect();
-    println!("step 1: socket 1 shares {} same-set blocks (entries spill)", blocks.len());
+    println!(
+        "step 1: socket 1 shares {} same-set blocks (entries spill)",
+        blocks.len()
+    );
     for &b in &blocks {
         let _ = sys.access(Cycle(0), SocketId(1), CoreId(0), b, Op::Read);
         let _ = sys.access(Cycle(0), SocketId(1), CoreId(1), b, Op::Read);
@@ -49,7 +52,10 @@ fn main() {
                 && sys.llc_line_of(SocketId(1), b).is_none()
         })
         .collect();
-    println!("step 2: {} home-memory blocks now corrupted (housing entries)", corrupted.len());
+    println!(
+        "step 2: {} home-memory blocks now corrupted (housing entries)",
+        corrupted.len()
+    );
 
     // A socket that is NOT a sharer reads one: Figure 15 steps 4-11,
     // including the DENF_NACK if the entry sits in home memory.
@@ -80,12 +86,18 @@ fn main() {
             println!("step 4: socket 1 core 0 evicts its copy of {b:?} (entry at home)");
             let before = sys.stats.get_de_requests;
             let _ = sys.evict(Cycle(0), SocketId(1), CoreId(0), b, EvictKind::CleanShared);
-            println!("  GET_DE round trips: {}", sys.stats.get_de_requests - before);
+            println!(
+                "  GET_DE round trips: {}",
+                sys.stats.get_de_requests - before
+            );
         }
     }
 
     println!("\nfinal protocol counters:\n{}", sys.stats.summary());
-    println!("DEV invalidations across the whole tour: {}", sys.stats.dev_invalidations);
+    println!(
+        "DEV invalidations across the whole tour: {}",
+        sys.stats.dev_invalidations
+    );
     assert_eq!(sys.stats.dev_invalidations, 0);
     sys.check_invariants();
     println!("all structural invariants hold.");

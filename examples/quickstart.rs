@@ -15,22 +15,33 @@ fn main() {
     let baseline = SystemConfig::baseline_8core();
     // The paper's headline configuration: ZeroDEV (FPSS + dataLRU) with no
     // dedicated directory structure at all.
-    let zerodev = SystemConfig::baseline_8core()
-        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let zerodev =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
 
     println!("--- machine ---\n{}", zerodev.describe());
 
     let params = RunParams::default();
     let app = "ocean_cp";
-    let base = run(&baseline, multithreaded(app, 8, 42).expect("known app"), &params);
-    let zd = run(&zerodev, multithreaded(app, 8, 42).expect("known app"), &params);
+    let base = run(
+        &baseline,
+        multithreaded(app, 8, 42).expect("known app"),
+        &params,
+    );
+    let zd = run(
+        &zerodev,
+        multithreaded(app, 8, 42).expect("known app"),
+        &params,
+    );
 
     println!("--- {app} on the baseline ---");
     print!("{}", base.stats.summary());
     println!("\n--- {app} on ZeroDEV (no directory) ---");
     print!("{}", zd.stats.summary());
 
-    println!("\nspeedup (ZeroDEV vs baseline): {:.3}", zd.result.speedup_vs(&base.result));
+    println!(
+        "\nspeedup (ZeroDEV vs baseline): {:.3}",
+        zd.result.speedup_vs(&base.result)
+    );
     println!(
         "DEV invalidations: baseline {} vs ZeroDEV {} (guaranteed zero)",
         base.stats.dev_invalidations, zd.stats.dev_invalidations

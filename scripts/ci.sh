@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Full CI gate: lint, format, tests, and a quick audited figure pass.
+#
+#   scripts/ci.sh
+#
+# The audit smoke runs every figure harness in quick mode with the
+# coherence-invariant oracle enabled (ZERODEV_AUDIT=1, see DESIGN.md
+# §6.1): any protocol invariant violation aborts the run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all -- --check
+
+echo "== build + tests =="
+cargo build --release
+cargo test -q --release --workspace
+
+echo "== audited figure smoke (quick profile, oracle on) =="
+ZERODEV_QUICK=1 ZERODEV_AUDIT=1 \
+    cargo run --release -p zerodev-bench --bin all_figures >/dev/null
+
+echo "CI green."

@@ -149,7 +149,8 @@ fn wbde_flow_reaches_memory_under_pressure() {
 
 #[test]
 fn four_socket_machine_stays_coherent_and_dev_free() {
-    let cfg = SystemConfig::four_socket().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let cfg =
+        SystemConfig::four_socket().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
     let wl = multithreaded("fft", 32, 17).unwrap();
     let r = run(&cfg, wl, &quick());
     assert_eq!(r.stats.dev_invalidations, 0);

@@ -160,7 +160,10 @@ fn protected_lines_survive_any_pressure() {
             let key = 4 + k * 4 + (k % 4); // spread over sets, never key<4
             if c.peek(key, |_| true).is_none() {
                 if let Some((_vk, vline)) = c.insert(key, false, |v| *v) {
-                    assert!(!vline, "protected line evicted under pressure (seed {seed})");
+                    assert!(
+                        !vline,
+                        "protected line evicted under pressure (seed {seed})"
+                    );
                 }
             }
         }

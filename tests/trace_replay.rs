@@ -39,8 +39,8 @@ fn replayed_trace_reproduces_the_run_exactly() {
 fn replay_matches_generator_run_when_covering() {
     // Running the generator directly and running its recording must agree
     // (same reference stream, same machine, no warmup).
-    let cfg = SystemConfig::baseline_8core()
-        .with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    let cfg =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
     let direct = run(&cfg, multithreaded("radiosity", 8, 5).unwrap(), &params());
     let mut source = multithreaded("radiosity", 8, 5).unwrap();
     let trace = Trace::record(&mut source, 3_000);
