@@ -8,17 +8,29 @@
 //! cache — each (config, workload) simulation is computed once and every
 //! later figure that needs it gets a cache hit; the sweep-throughput
 //! summary at the end reports how much work that saved.
+//!
+//! Each figure runs under `catch_unwind`: a panicking figure (a failed
+//! sweep point, a bug, an injected fault) marks that figure failed and the
+//! reproduction continues. A degraded run prints a failure summary to
+//! stderr and exits nonzero.
 
 use std::time::Instant;
 use zerodev_bench::figures;
 
 fn main() {
     let t_all = Instant::now();
-    for (name, fig) in figures::ALL {
-        let t0 = Instant::now();
-        fig();
-        eprintln!("[{name}: {:?}]", t0.elapsed());
+    let failed = zerodev_bench::run_figures(figures::ALL);
+    if failed == 0 {
+        println!("\nall {} figures regenerated", figures::ALL.len());
+    } else {
+        println!(
+            "\n{} of {} figures regenerated ({failed} failed)",
+            figures::ALL.len() - failed,
+            figures::ALL.len()
+        );
     }
-    println!("\nall {} figures regenerated", figures::ALL.len());
     zerodev_bench::print_sweep_summary(t_all.elapsed());
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }

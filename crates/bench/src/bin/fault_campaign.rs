@@ -1,0 +1,246 @@
+//! The fault-injection campaign: proves the oracle's detector sensitivity
+//! and the protocol's message-fault resilience across the spill-policy ×
+//! LLC-design matrix.
+//!
+//! `cargo run --release -p zerodev-bench --bin fault_campaign`
+//!
+//! Two sub-campaigns, both fully deterministic (`ZERODEV_FAULTS` seeds):
+//!
+//! * **Sensitivity** — every [`StateFault`] class (sharer-bit flip,
+//!   LLC-resident entry corruption, housed home-segment flip) is injected
+//!   into every spill policy × LLC design, with the oracle auditing. A
+//!   campaign point passes only when the oracle flags the corruption (a
+//!   panic containing `coherence oracle violation`); a run that completes
+//!   without injecting is also a failure — the fault must actually land.
+//! * **Resilience** — `DENF_NACK` storms, delayed completions, and
+//!   duplicated completions at material rates. A point passes when the run
+//!   completes violation-free under audit with final statistics,
+//!   completion time, and DRAM traffic byte-identical to the fault-free
+//!   run, while the fault plan reports a nonzero injected-event count.
+//!
+//! Set `ZERODEV_QUICK=1` for the CI smoke matrix (one policy × one design
+//! per fault class). Exits nonzero if any point fails.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use zerodev_common::config::{DirectoryKind, LlcDesign, SpillPolicy, ZeroDevConfig};
+use zerodev_common::{env, SystemConfig};
+use zerodev_sim::runner::{run, RunParams};
+use zerodev_sim::{FaultConfig, StateFault};
+
+/// A ZeroDEV machine with no dedicated directory: every live directory
+/// entry is LLC-resident or housed in a corrupted home block, so all three
+/// state-fault classes have victims. The LLC is shrunk so entry evictions
+/// (WB_DE) occur within the short campaign run — without them no corrupted
+/// home block ever exists and the `home` fault class has no victim.
+fn campaign_cfg(policy: SpillPolicy, design: LlcDesign) -> SystemConfig {
+    let mut cfg = SystemConfig::baseline_8core().with_zerodev(
+        ZeroDevConfig {
+            policy,
+            ..Default::default()
+        },
+        DirectoryKind::None,
+    );
+    cfg.llc_design = design;
+    cfg.llc = zerodev_common::config::CacheGeometry::new(1 << 20, 16);
+    cfg
+}
+
+fn params() -> RunParams {
+    RunParams {
+        refs_per_core: if env::var_flag("ZERODEV_QUICK") {
+            6_000
+        } else {
+            20_000
+        },
+        warmup_refs: 1_500,
+        audit: true,
+        ..Default::default()
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn matrix_over(designs: &[LlcDesign]) -> Vec<(SpillPolicy, LlcDesign)> {
+    let policies = [
+        SpillPolicy::SpillAll,
+        SpillPolicy::FusePrivateSpillShared,
+        SpillPolicy::FuseAll,
+    ];
+    if env::var_flag("ZERODEV_QUICK") {
+        // One point per policy still covers every policy and design.
+        policies
+            .iter()
+            .copied()
+            .zip(designs.iter().copied().cycle())
+            .collect()
+    } else {
+        policies
+            .iter()
+            .flat_map(|&p| designs.iter().map(move |&d| (p, d)))
+            .collect()
+    }
+}
+
+fn matrix() -> Vec<(SpillPolicy, LlcDesign)> {
+    matrix_over(&[
+        LlcDesign::NonInclusive,
+        LlcDesign::Epd,
+        LlcDesign::Inclusive,
+    ])
+}
+
+/// The matrix for home-segment corruption: an inclusive LLC never evicts a
+/// directory entry to memory (§III-F — evicting the line invalidates the
+/// private copies, which frees the entry), so no corrupted home block ever
+/// houses a segment there and the fault class has no victim by design.
+fn home_matrix() -> Vec<(SpillPolicy, LlcDesign)> {
+    matrix_over(&[LlcDesign::NonInclusive, LlcDesign::Epd])
+}
+
+/// One sensitivity point: inject `kind` at `at` and demand the oracle
+/// flags it. Returns an error description on failure.
+fn sensitivity_point(
+    kind: StateFault,
+    policy: SpillPolicy,
+    design: LlcDesign,
+    at: u64,
+) -> Result<(), String> {
+    let cfg = campaign_cfg(policy, design);
+    let faults = FaultConfig {
+        corrupt: Some((kind, at)),
+        ..Default::default()
+    };
+    let p = RunParams {
+        faults: Some(faults),
+        ..params()
+    };
+    let wl = zerodev_workloads::multithreaded("ocean_cp", 8, 5).expect("known app");
+    match catch_unwind(AssertUnwindSafe(|| run(&cfg, wl, &p))) {
+        Ok(r) => {
+            if r.result.faults.corruptions == 0 {
+                Err(format!(
+                    "corruption never injected (no victim found from access {at} onward)"
+                ))
+            } else {
+                Err(format!(
+                    "oracle missed the corruption: {:?}",
+                    r.result.faults.injected
+                ))
+            }
+        }
+        Err(p) => {
+            let msg = panic_text(p);
+            if msg.contains("coherence oracle violation") {
+                Ok(())
+            } else {
+                Err(format!("run panicked for the wrong reason: {msg}"))
+            }
+        }
+    }
+}
+
+/// One resilience point: message-level faults at material rates must leave
+/// the audited run violation-free and byte-identical to the fault-free run.
+fn resilience_point(policy: SpillPolicy, design: LlcDesign) -> Result<(), String> {
+    let cfg = campaign_cfg(policy, design);
+    let wl = || zerodev_workloads::multithreaded("ocean_cp", 8, 5).expect("known app");
+    let clean = match catch_unwind(AssertUnwindSafe(|| run(&cfg, wl(), &params()))) {
+        Ok(r) => r,
+        Err(e) => return Err(format!("fault-free run panicked: {}", panic_text(e))),
+    };
+    let faults = FaultConfig {
+        nack_ppm: 20_000,
+        delay_ppm: 10_000,
+        dup_ppm: 10_000,
+        ..Default::default()
+    };
+    let p = RunParams {
+        faults: Some(faults),
+        ..params()
+    };
+    let faulted = match catch_unwind(AssertUnwindSafe(|| run(&cfg, wl(), &p))) {
+        Ok(r) => r,
+        Err(e) => return Err(format!("faulted run panicked: {}", panic_text(e))),
+    };
+    if faulted.result.faults.total_events() == 0 {
+        return Err("no fault events injected at these rates".to_string());
+    }
+    if faulted.result.stats != clean.result.stats {
+        return Err("message faults diverged the protocol statistics".to_string());
+    }
+    if faulted.result.completion_cycles != clean.result.completion_cycles {
+        return Err("message faults diverged the completion time".to_string());
+    }
+    if faulted.result.dram_rw != clean.result.dram_rw {
+        return Err("message faults diverged DRAM traffic".to_string());
+    }
+    Ok(())
+}
+
+fn main() {
+    // The sensitivity campaign panics on purpose (that is the pass
+    // condition); silence the default hook's backtrace spam.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let kinds = [
+        ("sharer", StateFault::SharerFlip),
+        ("llc", StateFault::LlcEntryCorrupt),
+        ("home", StateFault::HomeSegmentFlip),
+    ];
+    let mut failures: Vec<String> = Vec::new();
+    let mut points = 0usize;
+
+    println!("== sensitivity: every state corruption must be flagged ==");
+    for (label, kind) in kinds {
+        let points_for_kind = if kind == StateFault::HomeSegmentFlip {
+            home_matrix()
+        } else {
+            matrix()
+        };
+        for (policy, design) in points_for_kind {
+            points += 1;
+            let verdict = sensitivity_point(kind, policy, design, 1_000);
+            let tag = format!("{label:>6} x {policy:?}/{design:?}");
+            match verdict {
+                Ok(()) => println!("  {tag}: detected"),
+                Err(e) => {
+                    println!("  {tag}: FAILED");
+                    failures.push(format!("sensitivity {tag}: {e}"));
+                }
+            }
+        }
+    }
+
+    println!("== resilience: message faults must be absorbed unchanged ==");
+    for (policy, design) in matrix() {
+        points += 1;
+        let tag = format!("{policy:?}/{design:?}");
+        match resilience_point(policy, design) {
+            Ok(()) => println!("  {tag}: absorbed, stats byte-identical"),
+            Err(e) => {
+                println!("  {tag}: FAILED");
+                failures.push(format!("resilience {tag}: {e}"));
+            }
+        }
+    }
+
+    std::panic::set_hook(default_hook);
+    if failures.is_empty() {
+        println!("\nfault campaign: all {points} points passed");
+    } else {
+        println!(
+            "\nfault campaign: {} of {points} points FAILED",
+            failures.len()
+        );
+        for f in &failures {
+            println!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -19,7 +19,10 @@ pub fn run() {
             let tr =
                 u.stats.total_traffic_bytes() as f64 / b.stats.total_traffic_bytes().max(1) as f64;
             let mr = u.stats.core_cache_misses as f64 / b.stats.core_cache_misses.max(1) as f64;
-            let sp = u.result.speedup_vs(&b.result);
+            let sp = u
+                .result
+                .speedup_vs(&b.result)
+                .expect("same workload, same core count");
             if suite == "PARSEC" {
                 let dm = (b.misses_per_kilo_instr() - u.misses_per_kilo_instr()).max(0.0);
                 t.row(&[

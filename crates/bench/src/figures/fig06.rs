@@ -39,7 +39,10 @@ pub fn run() {
         for (c, _ways) in [15usize, 14, 13, 12].iter().enumerate() {
             let mut speedups = Vec::new();
             for ((app, _), row) in workloads.iter().zip(&grid) {
-                let s = row[c + 1].result.speedup_vs(&row[0].result);
+                let s = row[c + 1]
+                    .result
+                    .speedup_vs(&row[0].result)
+                    .expect("same workload, same core count");
                 if c == 3 && s < worst_at_12.0 {
                     worst_at_12 = (s, (*app).to_string());
                 }

@@ -38,7 +38,12 @@ pub fn run() {
         for c in 1..cfg_refs.len() {
             let speedups: Vec<f64> = grid
                 .iter()
-                .map(|row| row[c].result.speedup_vs(&row[0].result))
+                .map(|row| {
+                    row[c]
+                        .result
+                        .speedup_vs(&row[0].result)
+                        .expect("same workload, same core count")
+                })
                 .collect();
             cells.push(format!("{:.3}", geomean(&speedups)));
         }

@@ -56,7 +56,11 @@ pub fn run() {
         let mut corrupt_pct = Vec::new();
         for row in &grid {
             let (b, z) = (&row[0], &row[1]);
-            speedups.push(z.result.speedup_vs(&b.result));
+            speedups.push(
+                z.result
+                    .speedup_vs(&b.result)
+                    .expect("same workload, same core count"),
+            );
             wbde_pct
                 .push(z.stats.dram_writes_dir as f64 * 100.0 / z.stats.dram_writes.max(1) as f64);
             corrupt_pct.push(

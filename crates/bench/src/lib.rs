@@ -177,7 +177,7 @@ pub fn run_grid(
     let outcomes = engine.run_grid(&jobs);
     outcomes
         .chunks(configs.len().max(1))
-        .map(|row| row.iter().map(|o| o.run.clone()).collect())
+        .map(|row| row.iter().map(|o| o.run.unwrap().clone()).collect())
         .collect()
 }
 
@@ -196,7 +196,11 @@ pub fn rows_vs_col0(names: &[&str], grid: &[Vec<Arc<RunWithEnergy>>]) -> Vec<Nor
             name: (*name).to_string(),
             values: row[1..]
                 .iter()
-                .map(|r| r.result.speedup_vs(&row[0].result))
+                .map(|r| {
+                    r.result
+                        .speedup_vs(&row[0].result)
+                        .expect("grid rows share one workload, so core counts match")
+                })
                 .collect(),
         })
         .collect()
@@ -247,7 +251,9 @@ where
 
 /// Speedup metric for [`sweep`].
 pub fn speedup_metric(r: &RunWithEnergy, base: &RunWithEnergy) -> f64 {
-    r.result.speedup_vs(&base.result)
+    r.result
+        .speedup_vs(&base.result)
+        .expect("sweep compares runs of the same workload, so core counts match")
 }
 
 /// Runs the per-application speedup table used by Figures 19–21 and 23 on
@@ -341,4 +347,42 @@ pub fn print_sweep_summary(elapsed: Duration) {
         s.cycles_per_sec(elapsed) / 1e6,
         s.busy.as_secs_f64(),
     );
+}
+
+/// Runs a list of `(name, body)` figures, each under `catch_unwind`, so a
+/// panicking figure (a failed sweep point, a bug, an injected fault)
+/// degrades the reproduction instead of aborting it. Returns the number of
+/// failed figures; when nonzero, a degraded-sweep summary — every failed
+/// figure and every failed sweep point — is printed to stderr.
+pub fn run_figures(figs: &[(&str, fn())]) -> usize {
+    let mut failed: Vec<(&str, String)> = Vec::new();
+    for &(name, fig) in figs {
+        let t0 = std::time::Instant::now();
+        if let Err(p) = std::panic::catch_unwind(fig) {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("[{name}: FAILED after {:?}]", t0.elapsed());
+            failed.push((name, msg));
+        } else {
+            eprintln!("[{name}: {:?}]", t0.elapsed());
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("\ndegraded reproduction: {} figure(s) failed", failed.len());
+        for (name, msg) in &failed {
+            let first = msg.lines().next().unwrap_or(msg);
+            eprintln!("  {name}: {first}");
+        }
+        let points = parallel::failed_points();
+        if !points.is_empty() {
+            eprintln!("failed sweep points ({}):", points.len());
+            for p in &points {
+                eprintln!("  {p}");
+            }
+        }
+    }
+    failed.len()
 }

@@ -249,25 +249,50 @@ impl<T> SetAssoc<T> {
         (0..self.ways).find(|&w| !self.line(set, w).valid)
     }
 
-    /// Chooses a victim way in `set`, preferring unprotected lines.
+    /// Chooses a victim way in `set`, preferring unprotected lines and
+    /// never selecting an excluded one unless every line is excluded.
     ///
     /// For LRU this scans the recency stack from the LRU end for the first
     /// line with `protected(data) == false`, falling back to the true LRU
     /// line when everything is protected — the paper's `dataLRU` search.
     /// For NRU it scans for a not-referenced unprotected line, clearing all
-    /// reference bits when none qualifies (classic 1-bit NRU).
-    fn pick_victim_way(&mut self, set: usize, protected: impl Fn(&T) -> bool) -> usize {
+    /// reference bits when none qualifies (classic 1-bit NRU). `excluded`
+    /// receives the candidate's full key and is a hard bar on top of either
+    /// search.
+    fn pick_victim_way(
+        &mut self,
+        set: usize,
+        protected: impl Fn(&T) -> bool,
+        excluded: impl Fn(u64, &T) -> bool,
+    ) -> usize {
+        let bar = |this: &Self, w: usize| {
+            let l = this.line(set, w);
+            excluded(
+                this.key_of(set, l.tag),
+                l.data.as_ref().expect("valid line has data"),
+            )
+        };
         match self.policy {
             Replacement::Lru => {
                 let stack = &self.recency[set];
                 debug_assert_eq!(stack.len(), self.ways, "full set has full stack");
                 for &w in stack.iter().rev() {
                     let l = self.line(set, w as usize);
-                    if !protected(l.data.as_ref().expect("valid line has data")) {
+                    if !protected(l.data.as_ref().expect("valid line has data"))
+                        && !bar(self, w as usize)
+                    {
                         return w as usize;
                     }
                 }
-                *stack.last().expect("non-empty stack") as usize
+                // Everything unexcluded is protected: true LRU among the
+                // non-excluded lines, true LRU outright as the last resort.
+                let stack = &self.recency[set];
+                for &w in stack.iter().rev() {
+                    if !bar(self, w as usize) {
+                        return w as usize;
+                    }
+                }
+                *self.recency[set].last().expect("non-empty stack") as usize
             }
             Replacement::Nru => {
                 // Two passes: unprotected & not-referenced, then clear bits.
@@ -276,6 +301,7 @@ impl<T> SetAssoc<T> {
                         let l = self.line(set, w);
                         if !l.nru_referenced
                             && !protected(l.data.as_ref().expect("valid line has data"))
+                            && !bar(self, w)
                         {
                             return w;
                         }
@@ -286,8 +312,9 @@ impl<T> SetAssoc<T> {
                         }
                     }
                 }
-                // Everything protected: fall back to way 0.
-                0
+                // Everything protected: the first non-excluded way, way 0
+                // as the last resort.
+                (0..self.ways).find(|&w| !bar(self, w)).unwrap_or(0)
             }
         }
     }
@@ -303,12 +330,27 @@ impl<T> SetAssoc<T> {
         data: T,
         protected: impl Fn(&T) -> bool,
     ) -> Option<(u64, T)> {
+        self.insert_excluding(key, data, protected, |_, _| false)
+    }
+
+    /// [`Self::insert`] with a hard exclusion: a line for which `excluded`
+    /// returns true (given its full key and payload) is never chosen as the
+    /// victim unless every line in the set is excluded. Lets a caller
+    /// shield a specific resident line from its own insertion — e.g. a
+    /// directory-entry spill must not displace its own block's data line.
+    pub fn insert_excluding(
+        &mut self,
+        key: u64,
+        data: T,
+        protected: impl Fn(&T) -> bool,
+        excluded: impl Fn(u64, &T) -> bool,
+    ) -> Option<(u64, T)> {
         let set = self.set_of(key);
         let tag = self.tag_of(key);
         let (way, evicted) = match self.pick_invalid_way(set) {
             Some(w) => (w, None),
             None => {
-                let w = self.pick_victim_way(set, protected);
+                let w = self.pick_victim_way(set, protected, excluded);
                 let victim_key = self.key_of(set, self.line(set, w).tag);
                 stack_remove(&mut self.recency[set], w as u8);
                 self.live -= 1;

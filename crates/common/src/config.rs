@@ -620,6 +620,11 @@ impl SystemConfig {
         if self.cores == 0 || self.sockets == 0 {
             return Err(ConfigError("need at least one core and socket".into()));
         }
+        if self.dram.channels == 0 {
+            // Without this, the zero surfaces later as a mesh-placement
+            // assert deep inside SocketTopology::new.
+            return Err(ConfigError("DRAM needs at least one channel".into()));
+        }
         if self.cores > 128 {
             return Err(ConfigError("SharerSet supports at most 128 cores".into()));
         }
@@ -809,6 +814,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_ratio_panics() {
         let _ = Ratio::new(0, 1);
+    }
+
+    #[test]
+    fn validation_rejects_zero_dram_channels() {
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.dram.channels = 0;
+        let err = cfg.validate().expect_err("channel-less DRAM must fail");
+        assert!(err.0.contains("channel"), "{err}");
     }
 
     #[test]

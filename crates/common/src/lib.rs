@@ -13,6 +13,8 @@
 //! * [`stats`] — the event counters every experiment reads out.
 //! * [`rng`] — a small deterministic PRNG (xoshiro256**) so that every
 //!   simulation is exactly reproducible from a seed.
+//! * [`env`] — graceful environment-variable parsing (warn + default on
+//!   bad values) shared by every harness knob.
 //! * [`table`] — plain-text table rendering for the figure harnesses.
 //!
 //! # Example
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod env;
 pub mod ids;
 pub mod mesi;
 pub mod msg;

@@ -50,4 +50,4 @@ pub use compress::{CompressedEntry, SegmentFormatExt};
 pub use directory::{DirEntry, DirStore};
 pub use llc::{LlcBank, LlcLine};
 pub use oracle::{AuditEvent, EventLog, Oracle};
-pub use system::{AccessResult, EvictKind, InvalReason, Invalidation, Op, System};
+pub use system::{AccessResult, EvictKind, InvalReason, Invalidation, Op, StateFault, System};

@@ -211,9 +211,18 @@ impl LlcBank {
             *e = entry;
             return SpillOutcome::Updated;
         }
+        // The spill must never displace its own block's data line: under an
+        // inclusive LLC that would back-invalidate the private copies (one
+        // of which may be a requester whose grant is still in flight) and
+        // free the very entry being installed.
         SpillOutcome::Inserted(
             self.array
-                .insert(key, LlcLine::Spilled { entry }, Self::protected(policy))
+                .insert_excluding(
+                    key,
+                    LlcLine::Spilled { entry },
+                    Self::protected(policy),
+                    |k, line| k == key && line.holds_block(),
+                )
                 .map(|(k, line)| (self.block_of(k), line)),
         )
     }

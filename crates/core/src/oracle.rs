@@ -575,7 +575,9 @@ impl Oracle {
     }
 
     /// Checks every invariant that can be stated about a single block.
-    fn check_block(&self, sys: &System, block: BlockAddr) {
+    /// Exposed within the crate so [`System::audit_check_block`] can verify
+    /// a freshly fault-injected block without waiting for the next sweep.
+    pub(crate) fn check_block(&self, sys: &System, block: BlockAddr) {
         let fallback;
         let sb = match self.shadow.get(&block) {
             Some(sb) => sb,

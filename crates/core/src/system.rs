@@ -33,8 +33,10 @@ use crate::memdir::{MemorySide, SocketDirEntry};
 use zerodev_common::config::{
     ConfigError, LlcDesign, LlcReplacement, SpillPolicy, SystemConfig, ZeroDevConfig,
 };
-use zerodev_common::ids::SocketSet;
-use zerodev_common::{BlockAddr, CoreId, Cycle, DirState, MesiState, MsgClass, SocketId, Stats};
+use zerodev_common::ids::{SharerSet, SocketSet};
+use zerodev_common::{
+    BlockAddr, CoreId, Cycle, DirState, MesiState, MsgClass, Prng, SocketId, Stats,
+};
 use zerodev_noc::SocketTopology;
 
 /// A core-cache request arriving at the uncore.
@@ -110,6 +112,24 @@ pub struct AccessResult {
     pub invalidations: Vec<Invalidation>,
     /// Private copies to downgrade to S.
     pub downgrades: Vec<Downgrade>,
+}
+
+/// A state-corruption fault class injectable via
+/// [`System::inject_state_fault`]. Message-level faults (NACK storms,
+/// delayed/duplicated completions) live in the sim engine and must be
+/// harmless; these three silently corrupt protocol *state* and exist so the
+/// fault campaign can prove the coherence oracle detects each of them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StateFault {
+    /// Drops one sharer bit from a live directory entry with at least two
+    /// sharers (a lost-invalidation bug), wherever the entry lives.
+    SharerFlip,
+    /// Clears the whole sharer set of an LLC-resident (spilled or fused)
+    /// directory entry, leaving a dead entry occupying the line.
+    LlcEntryCorrupt,
+    /// Drops a sharer bit from a directory segment housed in the corrupted
+    /// home-memory copy of a block (§III-D home-segment corruption).
+    HomeSegmentFlip,
 }
 
 /// Where a directory entry currently lives within a socket.
@@ -210,6 +230,13 @@ impl System {
             return false;
         }
         e.sharers.remove(victim);
+        self.write_entry_back(s, block, e, loc);
+        true
+    }
+
+    /// Writes a (possibly corrupted) entry back to wherever it lives,
+    /// without charging latency or statistics — fault-injection plumbing.
+    fn write_entry_back(&mut self, s: usize, block: BlockAddr, e: DirEntry, loc: EntryLoc) {
         let bank = self.bank_of(block);
         match loc {
             EntryLoc::Dedicated => {
@@ -223,7 +250,157 @@ impl System {
                 self.sockets[s].banks[bank].fuse_entry(block, e);
             }
         }
-        true
+    }
+
+    /// Every LLC-resident directory entry (spilled or fused) across all
+    /// sockets, as `(socket, block, entry)` — the fault planner's victim
+    /// candidate list. Recency-neutral.
+    fn llc_resident_entries(&self) -> Vec<(usize, BlockAddr, DirEntry)> {
+        let mut out = Vec::new();
+        for (s, sk) in self.sockets.iter().enumerate() {
+            for bank in &sk.banks {
+                for (block, line) in bank.iter() {
+                    if let Some(e) = line.entry() {
+                        out.push((s, block, e));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fault-injection hook: silently corrupts one piece of live directory
+    /// state of class `kind`, choosing the victim deterministically with
+    /// `rng`. Returns the corrupted block and a description of what was
+    /// done, or `None` when no candidate state exists yet (the campaign
+    /// re-arms and retries on a later access). The corruption itself makes
+    /// no noise — [`Self::audit_check_block`] immediately afterwards is
+    /// what must flag it.
+    pub fn inject_state_fault(
+        &mut self,
+        kind: StateFault,
+        rng: &mut Prng,
+    ) -> Option<(BlockAddr, String)> {
+        match kind {
+            StateFault::SharerFlip => {
+                let cands: Vec<(usize, BlockAddr, DirEntry)> = self
+                    .llc_resident_entries()
+                    .into_iter()
+                    .filter(|(_, _, e)| e.sharers.count() >= 2)
+                    .collect();
+                if cands.is_empty() {
+                    return None;
+                }
+                let (s, block, _) = cands[rng.below(cands.len() as u64) as usize];
+                let (mut e, loc) = self.find_entry(s, block)?;
+                let holders: Vec<CoreId> = e.sharers.iter().collect();
+                let victim = holders[rng.below(holders.len() as u64) as usize];
+                e.sharers.remove(victim);
+                self.write_entry_back(s, block, e, loc);
+                Some((
+                    block,
+                    format!("dropped sharer c{} of {block:?} in socket {s}", victim.0),
+                ))
+            }
+            StateFault::LlcEntryCorrupt => {
+                let cands = self.llc_resident_entries();
+                if cands.is_empty() {
+                    return None;
+                }
+                let (s, block, _) = cands[rng.below(cands.len() as u64) as usize];
+                let (mut e, loc) = self.find_entry(s, block)?;
+                e.sharers = SharerSet(0);
+                self.write_entry_back(s, block, e, loc);
+                Some((
+                    block,
+                    format!("cleared sharer set of LLC-resident entry for {block:?} (socket {s}, {loc:?})"),
+                ))
+            }
+            StateFault::HomeSegmentFlip => {
+                let cands: Vec<(BlockAddr, SocketId)> = self
+                    .mem
+                    .corrupted_blocks()
+                    .flat_map(|(b, cb)| cb.sockets().iter().map(move |s| (b, s)))
+                    .filter(|&(b, s)| {
+                        self.mem
+                            .peek_entry(b, s)
+                            .is_some_and(|e| e.sharers.count() > 0)
+                    })
+                    .collect();
+                if cands.is_empty() {
+                    return None;
+                }
+                let (block, sid) = cands[rng.below(cands.len() as u64) as usize];
+                let mut seg = self.mem.peek_entry(block, sid)?;
+                let holders: Vec<CoreId> = seg.sharers.iter().collect();
+                let victim = holders[rng.below(holders.len() as u64) as usize];
+                seg.sharers.remove(victim);
+                self.mem.rewrite_entry(block, sid, seg);
+                Some((
+                    block,
+                    format!(
+                        "dropped sharer c{} from the segment of socket {} housed at {block:?}",
+                        victim.0, sid.0
+                    ),
+                ))
+            }
+        }
+    }
+
+    /// Runs the oracle's single-block invariant check over `block` now
+    /// (no-op without [`Self::enable_audit`]). The fault campaign calls
+    /// this right after [`Self::inject_state_fault`] so detection latency
+    /// is zero rather than "whenever the next sweep happens".
+    pub fn audit_check_block(&self, block: BlockAddr) {
+        if let Some(o) = &self.oracle {
+            o.check_block(self, block);
+        }
+    }
+
+    /// Fault-injection hook: a duplicated completion for `core`'s earlier
+    /// grant of `block` arrives again. Returns true when the directory
+    /// still tracks the core for the block — the private cache holds the
+    /// line and drops the duplicate as idempotent — and false when the
+    /// duplicate raced a later invalidation and is dropped as stale.
+    /// Read-only: duplicates never mutate protocol state.
+    pub fn duplicate_completion_is_current(
+        &self,
+        socket: SocketId,
+        core: CoreId,
+        block: BlockAddr,
+    ) -> bool {
+        self.find_entry(socket.0 as usize, block)
+            .is_some_and(|(e, _)| e.sharers.contains(core))
+    }
+
+    /// Fault-injection hook: routes a phantom core→home-bank message of
+    /// `bytes` through the socket's mesh and returns its one-way latency.
+    /// Only the NoC load diagnostics move — protocol state, statistics and
+    /// timing are untouched, which is what keeps message-level faults
+    /// byte-identical on the final stats.
+    pub fn fault_route(
+        &mut self,
+        socket: SocketId,
+        core: CoreId,
+        block: BlockAddr,
+        bytes: u64,
+    ) -> u64 {
+        let bank = self.bank_of(block);
+        self.sockets[socket.0 as usize]
+            .topo
+            .route_core_bank(core.0 as usize, bank, bytes)
+    }
+
+    /// Aggregate NoC load diagnostics (byte-hops, messages) summed over
+    /// every socket's mesh.
+    pub fn noc_load(&self) -> (u64, u64) {
+        self.sockets.iter().fold((0, 0), |(bh, m), sk| {
+            let mesh = sk.topo.mesh();
+            (
+                bh.saturating_add(mesh.byte_hops()),
+                m.saturating_add(mesh.messages()),
+            )
+        })
     }
 
     /// The machine configuration.
@@ -537,6 +714,17 @@ impl System {
             return;
         }
         let me = SocketId(s as u8);
+        // Our own housed segment naming sharers is live tracking: those
+        // cores' private copies remain data sources, so the last trace has
+        // NOT left the socket (e.g. a clean LLC data line departing while
+        // the entry sits at home after a WB_DE). The block stays corrupted.
+        if self
+            .mem
+            .peek_entry(block, me)
+            .is_some_and(|e| e.sharers.count() > 0)
+        {
+            return;
+        }
         let _ = self.mem.extract_entry(block, me);
         // Another socket may still hold copies (its segment or entry lives
         // on); only the system-wide last copy restores.

@@ -21,8 +21,19 @@ impl System {
             self.sockets[s].banks[bank].block_line(block),
             Some(LlcLine::Data { .. })
         ) {
+            // The entry may be housed at home (WB_DE) while private copies
+            // and this data line survive in the socket: retrieve it
+            // (GET_DE) and conclude as a directory hit — the untracked
+            // grant below would break SWMR against those copies.
+            if let Some(entry) = self.recall_housed_entry(t, s, block) {
+                self.install_entry(now, s, block, entry, invals);
+                self.track_live(-1); // re-installed, not newly live
+                return self.serve_from_private(
+                    now, t, s, core, block, entry, false, invals, downgrades,
+                );
+            }
             // Case (iii): LLC hit, no private copies anywhere in the socket
-            // (guaranteed — §III-D2).
+            // (guaranteed — §III-D2, housed segment ruled out above).
             self.stats.llc_hits += 1;
             *t = self.bank_port(s, bank, *t, self.cfg.llc_data_cycles) + self.cfg.llc_data_cycles;
             self.stats.llc_data_accesses += 1;
@@ -59,6 +70,43 @@ impl System {
         } else {
             self.memory_fetch(now, t, s, core, block, false, code, invals, downgrades)
         }
+    }
+
+    /// GET_DE retrieval for an access that found an LLC data line but no
+    /// in-socket entry while the home block is corrupted: an earlier WB_DE
+    /// may have housed this socket's segment at home while the cores it
+    /// names still hold private copies, so §III-D2's "no private copies"
+    /// guarantee only holds once a live housed segment is ruled out.
+    /// Returns the retrieved entry (extracted from the home block) and
+    /// charges the memory round-trip, or `None` when nothing is housed.
+    fn recall_housed_entry(
+        &mut self,
+        t: &mut Cycle,
+        s: usize,
+        block: BlockAddr,
+    ) -> Option<DirEntry> {
+        if !self.mem.is_corrupted(block) {
+            return None;
+        }
+        let me = SocketId(s as u8);
+        if self.mem.peek_entry(block, me)?.sharers.count() == 0 {
+            return None; // dead segment tracks nothing
+        }
+        let home = self.cfg.home_socket(block);
+        let bank = self.bank_of(block);
+        self.stats.msg(MsgClass::MemRead);
+        *t += self.sockets[s]
+            .topo
+            .bank_mc_latency(bank, 0, MsgClass::MemRead.bytes());
+        self.stats.dram_reads += 1;
+        let tm = self.mem.dram_read(*t, home, block);
+        self.stats.msg(MsgClass::MemReadData);
+        *t = tm
+            + self.sockets[s]
+                .topo
+                .bank_mc_latency(bank, 0, MsgClass::MemReadData.bytes())
+            + 1;
+        self.mem.extract_entry(block, me)
     }
 
     /// Decides the grant for an untracked-read LLC data hit on a
@@ -112,6 +160,16 @@ impl System {
             self.sockets[s].banks[bank].block_line(block),
             Some(LlcLine::Data { .. })
         ) {
+            // Same WB_DE hazard as the untracked read: a housed segment
+            // still tracks private S copies that must be invalidated, not
+            // silently overwritten by a fresh owned entry.
+            if let Some(entry) = self.recall_housed_entry(t, s, block) {
+                self.install_entry(now, s, block, entry, invals);
+                self.track_live(-1); // re-installed, not newly live
+                return self.serve_from_private(
+                    now, t, s, core, block, entry, true, invals, downgrades,
+                );
+            }
             self.stats.llc_hits += 1;
             *t = self.bank_port(s, bank, *t, self.cfg.llc_data_cycles) + self.cfg.llc_data_cycles;
             self.stats.llc_data_accesses += 1;

@@ -88,9 +88,14 @@ impl Mesh {
     }
 
     /// Records a routed message for load accounting and returns its latency.
+    /// The load counters saturate instead of wrapping: they are diagnostics,
+    /// and long fault campaigns routing phantom traffic must never corrupt
+    /// them into small-looking values.
     pub fn route(&mut self, a: NodeId, b: NodeId, bytes: u64) -> u64 {
-        self.byte_hops += bytes * self.hops(a, b).max(1);
-        self.messages += 1;
+        self.byte_hops = self
+            .byte_hops
+            .saturating_add(bytes.saturating_mul(self.hops(a, b).max(1)));
+        self.messages = self.messages.saturating_add(1);
         self.latency(a, b, bytes)
     }
 
@@ -187,6 +192,15 @@ impl SocketTopology {
             .latency(self.banks[bank], self.mcs[channel % self.mcs.len()], bytes)
     }
 
+    /// Routes a phantom core→bank message through the mesh, accumulating
+    /// load diagnostics, and returns its one-way latency. Fault-injection
+    /// hook: NACK storms and duplicated completions re-traverse the fabric
+    /// without touching protocol state or statistics.
+    pub fn route_core_bank(&mut self, core: usize, bank: usize, bytes: u64) -> u64 {
+        let (a, b) = (self.cores[core], self.banks[bank]);
+        self.mesh.route(a, b, bytes)
+    }
+
     /// Average core→bank hop distance (used by tests and for sanity checks).
     pub fn mean_core_bank_hops(&self) -> f64 {
         let mut total = 0u64;
@@ -245,6 +259,28 @@ mod tests {
         assert_eq!(l, m.latency(NodeId(0), NodeId(3), 72));
         assert_eq!(m.byte_hops(), 72 * 3);
         assert_eq!(m.messages(), 1);
+    }
+
+    #[test]
+    fn route_counters_saturate_instead_of_wrapping() {
+        let mut m = Mesh::new(4, 2, cfg());
+        // Each injection would overflow `bytes * hops` and then the running
+        // sum; the counters must pin at the ceiling, not wrap to garbage.
+        for _ in 0..3 {
+            let l = m.route(NodeId(0), NodeId(7), u64::MAX);
+            assert_eq!(l, m.latency(NodeId(0), NodeId(7), u64::MAX));
+        }
+        assert_eq!(m.byte_hops(), u64::MAX);
+        assert_eq!(m.messages(), 3);
+    }
+
+    #[test]
+    fn phantom_core_bank_route_accumulates_load() {
+        let mut t = SocketTopology::new(8, 8, 2, cfg());
+        let lat = t.route_core_bank(0, 7, 16);
+        assert_eq!(lat, t.core_bank_latency(0, 7, 16));
+        assert_eq!(t.mesh().messages(), 1);
+        assert!(t.mesh().byte_hops() >= 16);
     }
 
     #[test]

@@ -1,11 +1,57 @@
-//! The deterministic event loop interleaving all cores.
+//! The deterministic event loop interleaving all cores, with a
+//! forward-progress watchdog and optional deterministic fault injection.
 
 use crate::core_model::{AccessEffects, CoreModel};
+use crate::faults::{FaultConfig, FaultPlan, FaultStats};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use zerodev_common::{CoreId, Cycle, MesiState, SocketId, Stats, SystemConfig};
+use zerodev_common::{CoreId, Cycle, MesiState, MsgClass, SocketId, Stats, SystemConfig};
 use zerodev_core::{InvalReason, System};
 use zerodev_workloads::{Workload, WorkloadKind};
+
+/// Cycles a core may go without retiring a reference before the watchdog
+/// declares the run stalled. Legitimate per-reference latency is bounded by
+/// a few thousand cycles (DRAM queueing included), so a million-cycle
+/// silence is a livelock/deadlock, never a slow access.
+const WATCHDOG_HORIZON: u64 = 1_000_000;
+
+/// References between watchdog scans of the per-core heartbeats (keeps the
+/// check O(1) amortised per reference).
+const WATCHDOG_PERIOD: u64 = 4_096;
+
+/// A structured forward-progress failure, surfaced instead of an infinite
+/// loop (livelock) or an unexplained panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// A core stopped retiring references: its retry budget was exhausted
+    /// by a NACK storm, or its heartbeat went silent past the watchdog
+    /// horizon.
+    Stalled {
+        /// The core that stopped making progress.
+        core: usize,
+        /// Simulated cycle at which the stall was declared.
+        cycle: u64,
+        /// What the core was last seen doing.
+        last_event: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled {
+                core,
+                cycle,
+                last_event,
+            } => write!(
+                f,
+                "forward-progress watchdog: core {core} stalled at cycle {cycle} ({last_event})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Outcome of one simulation run.
 #[derive(Clone, Debug)]
@@ -24,6 +70,10 @@ pub struct SimResult {
     pub completion_cycles: u64,
     /// DRAM (reads, writes) observed.
     pub dram_rw: (u64, u64),
+    /// What the fault plan injected (empty unless faults were configured).
+    /// Kept apart from [`Stats`] so faulted runs remain comparable to
+    /// fault-free ones field-for-field.
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -38,13 +88,13 @@ impl SimResult {
 
     /// The paper's speedup metric versus a baseline run: completion-time
     /// ratio for multi-threaded workloads, normalised weighted speedup for
-    /// multi-programmed ones.
-    ///
-    /// # Panics
-    /// Panics when the runs have different core counts.
-    pub fn speedup_vs(&self, base: &SimResult) -> f64 {
-        assert_eq!(self.core_cycles.len(), base.core_cycles.len());
-        match self.kind {
+    /// multi-programmed ones. Returns `None` when the runs have different
+    /// core counts (the ratio would be meaningless).
+    pub fn speedup_vs(&self, base: &SimResult) -> Option<f64> {
+        if self.core_cycles.len() != base.core_cycles.len() {
+            return None;
+        }
+        Some(match self.kind {
             WorkloadKind::MultiThreaded => {
                 base.completion_cycles as f64 / self.completion_cycles.max(1) as f64
             }
@@ -53,7 +103,7 @@ impl SimResult {
                 let b = base.ipcs();
                 a.iter().zip(&b).map(|(x, y)| x / y).sum::<f64>() / a.len() as f64
             }
-        }
+        })
     }
 
     /// Core-cache misses per kilo-instruction (Figure 2 annotation).
@@ -69,6 +119,8 @@ pub struct Simulation {
     sys: System,
     cores: Vec<CoreModel>,
     workload: Workload,
+    /// Deterministic fault plan; `None` (the default) is zero-cost-off.
+    faults: Option<Box<FaultPlan>>,
 }
 
 impl Simulation {
@@ -99,7 +151,16 @@ impl Simulation {
             sys,
             cores,
             workload,
+            faults: None,
         }
+    }
+
+    /// Arms deterministic fault injection ([`crate::faults`]) for the
+    /// measured region. Message-level faults never perturb timing or
+    /// statistics; state corruptions are meant to be caught by the oracle
+    /// (enable [`Self::enable_audit`] too).
+    pub fn set_faults(&mut self, cfg: FaultConfig) {
+        self.faults = Some(Box::new(FaultPlan::new(cfg)));
     }
 
     /// Read access to the protocol engine (diagnostics).
@@ -154,11 +215,110 @@ impl Simulation {
         latency
     }
 
+    /// Requester-side fault handling *before* the access reaches the
+    /// uncore: a forced `DENF_NACK` storm either exhausts the retry budget
+    /// (a structured stall) or is absorbed with bounded exponential
+    /// backoff, accounted virtually and as phantom NoC traffic.
+    fn fault_pre(
+        &mut self,
+        t: usize,
+        issue: u64,
+        block: zerodev_common::BlockAddr,
+        d: crate::faults::FaultDraw,
+    ) -> Result<(), SimError> {
+        let Some(len) = d.nack_storm else {
+            return Ok(());
+        };
+        let plan = self
+            .faults
+            .as_deref_mut()
+            .expect("fault draw without a plan");
+        let budget = plan.config().retry_budget;
+        if len > budget {
+            return Err(SimError::Stalled {
+                core: t,
+                cycle: issue,
+                last_event: format!(
+                    "DENF_NACK storm of {len} on {block:?} exceeded the retry budget of {budget}"
+                ),
+            });
+        }
+        plan.stats.nack_storms += 1;
+        plan.stats.nacks += u64::from(len);
+        plan.stats.backoff_cycles += plan.config().backoff_cycles(len);
+        let (socket, core) = (self.cores[t].socket(), self.cores[t].core());
+        let mut phantom = 0u64;
+        for _ in 0..len {
+            phantom += self
+                .sys
+                .fault_route(socket, core, block, MsgClass::DenfNack.bytes());
+        }
+        plan.stats.phantom_noc_cycles += phantom;
+        Ok(())
+    }
+
+    /// Completion-side fault handling *after* the access resolved: delayed
+    /// completions (virtual lateness), duplicated completions (re-delivered
+    /// and dropped — idempotent if the line is still tracked, stale if it
+    /// raced an invalidation), and armed state corruption (injected once a
+    /// victim exists, then immediately re-checked by the oracle).
+    fn fault_post(
+        &mut self,
+        t: usize,
+        done: u64,
+        block: zerodev_common::BlockAddr,
+        d: crate::faults::FaultDraw,
+    ) {
+        let (socket, core) = (self.cores[t].socket(), self.cores[t].core());
+        if let Some(extra) = d.delay {
+            let plan = self.faults.as_deref_mut().expect("plan present");
+            plan.stats.delayed += 1;
+            plan.stats.delay_cycles += extra;
+        }
+        if d.duplicate {
+            let current = self
+                .sys
+                .duplicate_completion_is_current(socket, core, block);
+            let phantom = self
+                .sys
+                .fault_route(socket, core, block, MsgClass::Data.bytes());
+            let plan = self.faults.as_deref_mut().expect("plan present");
+            plan.stats.duplicates += 1;
+            if !current {
+                plan.stats.duplicates_stale += 1;
+            }
+            plan.stats.phantom_noc_cycles += phantom;
+        }
+        if let Some(kind) = d.corrupt {
+            let Simulation { sys, faults, .. } = self;
+            if let Some(plan) = faults.as_deref_mut() {
+                if let Some((victim, desc)) = sys.inject_state_fault(kind, plan.rng_mut()) {
+                    plan.corruption_injected(format!("at cycle {done}: {kind:?}: {desc}"));
+                    sys.audit_check_block(victim);
+                }
+            }
+        }
+    }
+
     /// Runs until every core has retired `refs_per_core` references after a
     /// per-core warm-up of `warmup_refs` (not counted in the statistics).
     /// Early finishers keep running until the last core reaches its target,
     /// as in the paper's multi-programmed methodology.
-    pub fn run(mut self, refs_per_core: u64, warmup_refs: u64) -> SimResult {
+    ///
+    /// # Panics
+    /// Panics (via [`SimError`]'s message) when the forward-progress
+    /// watchdog fires; use [`Self::try_run`] to handle stalls structurally.
+    pub fn run(self, refs_per_core: u64, warmup_refs: u64) -> SimResult {
+        self.try_run(refs_per_core, warmup_refs)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::run`], surfacing livelock/deadlock as [`SimError::Stalled`]
+    /// instead of looping forever: every core must keep retiring references
+    /// within the watchdog horizon, and NACKed flows get a bounded retry
+    /// budget. The watchdog only reads the event stream — armed or not,
+    /// results are byte-identical.
+    pub fn try_run(mut self, refs_per_core: u64, warmup_refs: u64) -> Result<SimResult, SimError> {
         let n = self.cores.len();
         // Warm-up: interleave round-robin without timing.
         for _ in 0..warmup_refs {
@@ -188,19 +348,50 @@ impl Simulation {
         let mut core_cycles = vec![0u64; n];
         let mut core_instrs = vec![0u64; n];
         let mut finished = 0usize;
+        // Watchdog state: the cycle each core last retired a reference.
+        let mut last_retire = vec![0u64; n];
+        let mut pops = 0u64;
 
         while let Some(Reverse((now, t))) = heap.pop() {
             if finished == n {
                 break;
             }
+            pops += 1;
+            if pops.is_multiple_of(WATCHDOG_PERIOD) {
+                let (lag, &seen) = last_retire
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .expect("at least one core");
+                if now.saturating_sub(seen) > WATCHDOG_HORIZON {
+                    return Err(SimError::Stalled {
+                        core: lag,
+                        cycle: now,
+                        last_event: format!(
+                            "no retirement since cycle {seen} (heartbeat horizon {WATCHDOG_HORIZON})"
+                        ),
+                    });
+                }
+            }
             let r = self.workload.threads[t].next_ref();
             let mlp = self.workload.threads[t].spec().mlp;
             let issue = now + u64::from(r.gap);
+            let draw = self
+                .faults
+                .as_deref_mut()
+                .map(crate::faults::FaultPlan::draw);
+            if let Some(d) = draw {
+                self.fault_pre(t, issue, r.block, d)?;
+            }
             let fx = self.cores[t].access(&mut self.sys, Cycle(issue), r);
             let lat = self.apply_effects(Cycle(issue), fx, mlp);
             let done = issue + lat;
+            if let Some(d) = draw {
+                self.fault_post(t, done, r.block, d);
+            }
             instrs[t] += u64::from(r.gap) + 1;
             refs_done[t] += 1;
+            last_retire[t] = done;
             if refs_done[t] == refs_per_core {
                 core_cycles[t] = done;
                 core_instrs[t] = instrs[t];
@@ -217,7 +408,7 @@ impl Simulation {
         self.sys.audit_sweep();
 
         let (dr, dw) = self.sys.memory().dram_counts();
-        SimResult {
+        Ok(SimResult {
             name: self.workload.name.clone(),
             kind: self.workload.kind,
             stats: self.sys.stats.clone(),
@@ -225,7 +416,8 @@ impl Simulation {
             core_cycles,
             core_instrs,
             dram_rw: (dr, dw),
-        }
+            faults: self.faults.take().map(|p| p.stats).unwrap_or_default(),
+        })
     }
 }
 
@@ -263,8 +455,29 @@ mod tests {
     fn speedup_vs_self_is_one() {
         let a = small_run("ferret");
         let b = small_run("ferret");
-        let s = a.speedup_vs(&b);
+        let s = a.speedup_vs(&b).expect("same core count");
         assert!((s - 1.0).abs() < 1e-9, "self speedup {s}");
+    }
+
+    #[test]
+    fn speedup_vs_mismatched_core_counts_is_none() {
+        let a = small_run("ferret");
+        let mut b = a.clone();
+        b.core_cycles.pop();
+        assert_eq!(a.speedup_vs(&b), None);
+    }
+
+    #[test]
+    fn try_run_is_clean_and_identical_to_run() {
+        let cfg = SystemConfig::baseline_8core();
+        let wl = || multithreaded("ferret", 8, 11).unwrap();
+        let a = Simulation::new(&cfg, wl()).run(2_000, 200);
+        let b = Simulation::new(&cfg, wl())
+            .try_run(2_000, 200)
+            .expect("clean run must not stall");
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.completion_cycles, b.completion_cycles);
+        assert_eq!(a.faults, FaultStats::default());
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Deterministic fault injection: configuration, per-run plan, and stats.
+//!
+//! ZeroDEV's safety argument rests on invariants the PR-2 oracle checks on
+//! *clean* runs; this module supplies the adversarial side. A
+//! [`FaultPlan`], seeded from [`FaultConfig::seed`] and driven by
+//! [`zerodev_common::Prng`], decides per measured access whether to inject:
+//!
+//! * **state corruption** ([`StateFault`]) — sharer-bit flips, LLC-resident
+//!   entry corruption, housed home-segment flips. These silently break the
+//!   protocol's invariants; the fault campaign proves the oracle flags
+//!   every one (detector sensitivity).
+//! * **message-level faults** — forced `DENF_NACK` storms with bounded
+//!   exponential backoff, delayed completions, and duplicated completions.
+//!   The protocol must absorb these without any state or statistics
+//!   divergence (resilience): their cost is accounted *virtually* in
+//!   [`FaultStats`] and as phantom NoC traffic, never in the timed event
+//!   stream, so a faulted run's final [`zerodev_common::Stats`] are
+//!   byte-identical to the fault-free run.
+//!
+//! The whole subsystem is zero-cost-off: with no `FaultConfig` in
+//! [`crate::runner::RunParams`] (and `ZERODEV_FAULTS` unset) the engine
+//! takes one `None` branch per reference and produces byte-identical
+//! output to a build without the module.
+
+use zerodev_common::Prng;
+pub use zerodev_core::StateFault;
+
+/// Parts-per-million probability bound (1.0).
+pub const PPM: u32 = 1_000_000;
+
+/// A complete, hashable description of the faults to inject in one run.
+/// Probabilities are parts-per-million so the config stays `Eq + Hash` and
+/// can key the sweep memo cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FaultConfig {
+    /// Seed of the fault plan's own PRNG (independent of workload seeds).
+    pub seed: u64,
+    /// Per-access probability (ppm) of a forced `DENF_NACK` storm.
+    pub nack_ppm: u32,
+    /// NACKs in a storm before the re-forward succeeds.
+    pub nack_len: u32,
+    /// Retries the requester tolerates before declaring a stall
+    /// (`SimError::Stalled`): the watchdog's bounded-retry budget.
+    pub retry_budget: u32,
+    /// First-retry backoff in cycles; doubles per retry (exponential).
+    pub backoff_base: u64,
+    /// Per-retry backoff ceiling in cycles.
+    pub backoff_cap: u64,
+    /// Per-access probability (ppm) of a delayed completion.
+    pub delay_ppm: u32,
+    /// Extra (virtual) cycles a delayed completion is late by.
+    pub delay_cycles: u64,
+    /// Per-access probability (ppm) of a duplicated completion.
+    pub dup_ppm: u32,
+    /// State corruption: the fault class and the measured-access index to
+    /// arm it at (injection retries every access until a victim exists).
+    pub corrupt: Option<(StateFault, u64)>,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xfa017,
+            nack_ppm: 0,
+            nack_len: 4,
+            retry_budget: 16,
+            backoff_base: 8,
+            backoff_cap: 1_024,
+            delay_ppm: 0,
+            delay_cycles: 50,
+            dup_ppm: 0,
+            corrupt: None,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Parses a `ZERODEV_FAULTS` spec: comma-separated `key=value` pairs.
+    ///
+    /// Keys: `seed`, `nack` (ppm), `nack_len`, `retries`, `backoff_base`,
+    /// `backoff_cap`, `delay` (ppm), `delay_cycles`, `dup` (ppm), and
+    /// `corrupt=<sharer|llc|home>@<access-index>`.
+    /// Example: `nack=500,delay=200,dup=100,seed=7`.
+    ///
+    /// # Errors
+    /// Returns a message describing the first malformed pair.
+    pub fn parse(spec: &str) -> Result<FaultConfig, String> {
+        fn num<T: std::str::FromStr>(k: &str, v: &str) -> Result<T, String> {
+            v.trim()
+                .parse()
+                .map_err(|_| format!("`{k}={v}`: not a number"))
+        }
+        fn ppm(k: &str, v: &str) -> Result<u32, String> {
+            let p: u32 = num(k, v)?;
+            if p > PPM {
+                return Err(format!("`{k}={v}`: probability above {PPM} ppm"));
+            }
+            Ok(p)
+        }
+        let mut fc = FaultConfig::default();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (k, v) = part
+                .split_once('=')
+                .ok_or_else(|| format!("`{part}`: expected key=value"))?;
+            match k.trim() {
+                "seed" => fc.seed = num(k, v)?,
+                "nack" => fc.nack_ppm = ppm(k, v)?,
+                "nack_len" => fc.nack_len = num(k, v)?,
+                "retries" => fc.retry_budget = num(k, v)?,
+                "backoff_base" => fc.backoff_base = num(k, v)?,
+                "backoff_cap" => fc.backoff_cap = num(k, v)?,
+                "delay" => fc.delay_ppm = ppm(k, v)?,
+                "delay_cycles" => fc.delay_cycles = num(k, v)?,
+                "dup" => fc.dup_ppm = ppm(k, v)?,
+                "corrupt" => {
+                    let (kind, at) = v
+                        .split_once('@')
+                        .ok_or_else(|| format!("`{part}`: expected corrupt=<kind>@<index>"))?;
+                    let kind = match kind.trim() {
+                        "sharer" => StateFault::SharerFlip,
+                        "llc" => StateFault::LlcEntryCorrupt,
+                        "home" => StateFault::HomeSegmentFlip,
+                        other => {
+                            return Err(format!("`{other}`: unknown fault kind (sharer|llc|home)"))
+                        }
+                    };
+                    fc.corrupt = Some((kind, num(k, at)?));
+                }
+                other => return Err(format!("`{other}`: unknown fault key")),
+            }
+        }
+        Ok(fc)
+    }
+
+    /// [`Self::parse`] over an environment-variable value, with the shared
+    /// warn-and-fall-back discipline of [`zerodev_common::env`]: unset or
+    /// empty means no faults, malformed warns to stderr and disables.
+    pub fn parse_env(name: &str, raw: Option<&str>) -> Option<FaultConfig> {
+        let raw = raw?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        match FaultConfig::parse(raw) {
+            Ok(fc) => Some(fc),
+            Err(e) => {
+                eprintln!("warning: ignoring {name}={raw:?} ({e}); fault injection disabled");
+                None
+            }
+        }
+    }
+
+    /// Reads `ZERODEV_FAULTS` via [`Self::parse_env`].
+    pub fn from_env() -> Option<FaultConfig> {
+        let raw = std::env::var("ZERODEV_FAULTS").ok();
+        FaultConfig::parse_env("ZERODEV_FAULTS", raw.as_deref())
+    }
+
+    /// Total backoff cycles a storm of `len` NACKs costs the requester:
+    /// exponential from [`Self::backoff_base`], capped per retry at
+    /// [`Self::backoff_cap`] (the bound that makes the backoff, and hence
+    /// any stall, finite).
+    pub fn backoff_cycles(&self, len: u32) -> u64 {
+        (0..len)
+            .map(|i| {
+                self.backoff_base
+                    .checked_shl(i)
+                    .unwrap_or(self.backoff_cap)
+                    .min(self.backoff_cap)
+            })
+            .fold(0u64, u64::saturating_add)
+    }
+}
+
+/// Everything a faulted run observed, kept apart from the protocol's
+/// [`zerodev_common::Stats`] so message-level faults stay provably
+/// stats-neutral. Backoff and delay costs are *virtual* cycles: accounted
+/// here, never added to the timed event stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Forced `DENF_NACK` storms survived.
+    pub nack_storms: u64,
+    /// Individual NACKs across all storms.
+    pub nacks: u64,
+    /// Virtual requester-side backoff cycles across all storms.
+    pub backoff_cycles: u64,
+    /// Completions delivered late.
+    pub delayed: u64,
+    /// Virtual cycles of added completion delay.
+    pub delay_cycles: u64,
+    /// Completions delivered twice.
+    pub duplicates: u64,
+    /// Duplicates that raced a later invalidation (dropped as stale rather
+    /// than as idempotent).
+    pub duplicates_stale: u64,
+    /// State corruptions injected.
+    pub corruptions: u64,
+    /// One-way latency of phantom messages routed through the NoC.
+    pub phantom_noc_cycles: u64,
+    /// Human-readable description of every injected state corruption.
+    pub injected: Vec<String>,
+}
+
+impl FaultStats {
+    /// Total injected events of any class.
+    pub fn total_events(&self) -> u64 {
+        self.nack_storms + self.delayed + self.duplicates + self.corruptions
+    }
+}
+
+/// What the plan decided for one measured access.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultDraw {
+    /// Force a `DENF_NACK` storm of this many NACKs.
+    pub nack_storm: Option<u32>,
+    /// Deliver the completion this many cycles late (virtually).
+    pub delay: Option<u64>,
+    /// Deliver the completion twice.
+    pub duplicate: bool,
+    /// A state corruption is armed and waiting for a victim.
+    pub corrupt: Option<StateFault>,
+}
+
+/// The per-run fault schedule: owns the fault PRNG, decides one
+/// [`FaultDraw`] per measured access, and accumulates [`FaultStats`].
+/// Fully determined by its [`FaultConfig`] — two runs with equal configs
+/// inject identical fault sequences.
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    rng: Prng,
+    accesses: u64,
+    armed: Option<StateFault>,
+    /// Everything injected so far.
+    pub stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// A plan executing `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultPlan {
+            cfg,
+            rng: Prng::seeded(cfg.seed ^ 0x5eed_fa017),
+            accesses: 0,
+            armed: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The config the plan executes.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The fault PRNG (victim selection for state corruption).
+    pub fn rng_mut(&mut self) -> &mut Prng {
+        &mut self.rng
+    }
+
+    fn chance(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.rng.below(u64::from(PPM)) < u64::from(ppm)
+    }
+
+    /// Decides the faults for the next measured access.
+    pub fn draw(&mut self) -> FaultDraw {
+        let i = self.accesses;
+        self.accesses += 1;
+        if let Some((kind, at)) = self.cfg.corrupt {
+            if i == at {
+                self.armed = Some(kind);
+            }
+        }
+        FaultDraw {
+            nack_storm: self
+                .chance(self.cfg.nack_ppm)
+                .then(|| self.cfg.nack_len.max(1)),
+            delay: self
+                .chance(self.cfg.delay_ppm)
+                .then_some(self.cfg.delay_cycles),
+            duplicate: self.chance(self.cfg.dup_ppm),
+            corrupt: self.armed,
+        }
+    }
+
+    /// Records a successful state corruption and disarms the trigger.
+    pub fn corruption_injected(&mut self, desc: String) {
+        self.armed = None;
+        self.stats.corruptions += 1;
+        self.stats.injected.push(desc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips() {
+        let fc = FaultConfig::parse("nack=500, nack_len=3, retries=8, delay=200, dup=100, seed=7")
+            .unwrap();
+        assert_eq!(fc.nack_ppm, 500);
+        assert_eq!(fc.nack_len, 3);
+        assert_eq!(fc.retry_budget, 8);
+        assert_eq!(fc.delay_ppm, 200);
+        assert_eq!(fc.dup_ppm, 100);
+        assert_eq!(fc.seed, 7);
+        assert_eq!(fc.corrupt, None);
+    }
+
+    #[test]
+    fn corrupt_spec_parses_all_kinds() {
+        for (txt, kind) in [
+            ("sharer", StateFault::SharerFlip),
+            ("llc", StateFault::LlcEntryCorrupt),
+            ("home", StateFault::HomeSegmentFlip),
+        ] {
+            let fc = FaultConfig::parse(&format!("corrupt={txt}@2000")).unwrap();
+            assert_eq!(fc.corrupt, Some((kind, 2000)));
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for bad in [
+            "nack",
+            "nack=many",
+            "nack=2000000",
+            "corrupt=sharer",
+            "corrupt=what@10",
+            "unknown=1",
+        ] {
+            assert!(FaultConfig::parse(bad).is_err(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn env_parsing_warns_and_disables_on_garbage() {
+        assert_eq!(FaultConfig::parse_env("ZERODEV_FAULTS", None), None);
+        assert_eq!(FaultConfig::parse_env("ZERODEV_FAULTS", Some("  ")), None);
+        assert_eq!(
+            FaultConfig::parse_env("ZERODEV_FAULTS", Some("garbage")),
+            None
+        );
+        assert!(FaultConfig::parse_env("ZERODEV_FAULTS", Some("nack=10")).is_some());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let fc = FaultConfig {
+            backoff_base: 8,
+            backoff_cap: 64,
+            ..Default::default()
+        };
+        // 8 + 16 + 32 + 64 + 64(cap)
+        assert_eq!(fc.backoff_cycles(5), 184);
+        assert_eq!(fc.backoff_cycles(0), 0);
+        // Shift overflow pins at the cap and the sum saturates.
+        let huge = FaultConfig {
+            backoff_base: 1,
+            backoff_cap: u64::MAX,
+            ..Default::default()
+        };
+        assert_eq!(huge.backoff_cycles(70), u64::MAX);
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let cfg = FaultConfig {
+            nack_ppm: 100_000,
+            delay_ppm: 50_000,
+            dup_ppm: 25_000,
+            ..Default::default()
+        };
+        let mut a = FaultPlan::new(cfg);
+        let mut b = FaultPlan::new(cfg);
+        for _ in 0..10_000 {
+            let (x, y) = (a.draw(), b.draw());
+            assert_eq!(x.nack_storm, y.nack_storm);
+            assert_eq!(x.delay, y.delay);
+            assert_eq!(x.duplicate, y.duplicate);
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn corruption_arms_at_index_and_stays_armed_until_injected() {
+        let cfg = FaultConfig {
+            corrupt: Some((StateFault::SharerFlip, 3)),
+            ..Default::default()
+        };
+        let mut p = FaultPlan::new(cfg);
+        for i in 0..3 {
+            assert_eq!(p.draw().corrupt, None, "access {i}");
+        }
+        assert_eq!(p.draw().corrupt, Some(StateFault::SharerFlip));
+        // Still armed: no victim existed yet.
+        assert_eq!(p.draw().corrupt, Some(StateFault::SharerFlip));
+        p.corruption_injected("done".into());
+        assert_eq!(p.draw().corrupt, None);
+        assert_eq!(p.stats.corruptions, 1);
+    }
+}

@@ -12,8 +12,12 @@
 //! * [`runner`] — one-call experiment execution: run a workload on a
 //!   config, normalise against a baseline.
 //! * [`parallel`] — the sweep engine: executes a (config × workload) grid
-//!   across a scoped worker pool with deterministic result ordering and a
-//!   process-wide baseline memoization cache.
+//!   across a scoped worker pool with deterministic result ordering, a
+//!   process-wide baseline memoization cache, and panic isolation (a
+//!   failed point degrades the sweep instead of aborting it).
+//! * [`faults`] — deterministic fault injection (`ZERODEV_FAULTS`): seeded
+//!   state corruption the oracle must catch, and message-level faults the
+//!   protocol must absorb without statistics divergence.
 //!
 //! # Example
 //!
@@ -31,9 +35,11 @@
 pub mod core_model;
 pub mod energy;
 pub mod engine;
+pub mod faults;
 pub mod parallel;
 pub mod runner;
 
-pub use engine::{SimResult, Simulation};
-pub use parallel::{Engine, JobOutcome, RunJob, WorkloadMaker};
+pub use engine::{SimError, SimResult, Simulation};
+pub use faults::{FaultConfig, FaultPlan, FaultStats, StateFault};
+pub use parallel::{Engine, JobOutcome, PointResult, RunJob, WorkloadMaker};
 pub use runner::{run, RunParams};

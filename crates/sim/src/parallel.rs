@@ -22,13 +22,31 @@
 //! environment; default = available parallelism). `threads == 1` takes an
 //! exact serial path that spawns nothing.
 
+use crate::faults::FaultConfig;
 use crate::runner::{run, RunParams, RunWithEnergy};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 use zerodev_common::SystemConfig;
 use zerodev_workloads::Workload;
+
+/// Locks a mutex, recovering from poison: every structure behind these
+/// locks (cache map, cache entries, counters) is valid after any partial
+/// update, and a worker that panicked mid-job must degrade that one point,
+/// not every later sweep.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a panic payload as text (panics carry `String` or `&str`).
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    p.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// A shareable workload constructor. Workloads are consumed per run, so
 /// jobs carry factories; `Send + Sync` lets any worker build the workload.
@@ -63,12 +81,58 @@ impl RunJob {
     }
 }
 
-/// The result slot of one job: the run, its wall-clock, and whether it was
-/// served from the memo cache.
+/// How one sweep point ended: a result, or an isolated failure. Workers run
+/// each job under `catch_unwind`, so one panicking configuration degrades
+/// its point instead of aborting the whole figure sweep.
+#[derive(Clone, Debug)]
+pub enum PointResult {
+    /// The point simulated (or was served from the cache).
+    Ok(Arc<RunWithEnergy>),
+    /// The point panicked; the message says where and why. Also recorded in
+    /// the process-wide [`failed_points`] registry.
+    Failed(String),
+}
+
+impl PointResult {
+    /// The run, if the point succeeded.
+    pub fn ok(&self) -> Option<&Arc<RunWithEnergy>> {
+        match self {
+            PointResult::Ok(r) => Some(r),
+            PointResult::Failed(_) => None,
+        }
+    }
+
+    /// The failure message, if the point failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            PointResult::Ok(_) => None,
+            PointResult::Failed(m) => Some(m),
+        }
+    }
+
+    /// True when the point failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointResult::Failed(_))
+    }
+
+    /// The run.
+    ///
+    /// # Panics
+    /// Panics with the failure message when the point failed.
+    pub fn unwrap(&self) -> &Arc<RunWithEnergy> {
+        match self {
+            PointResult::Ok(r) => r,
+            PointResult::Failed(m) => panic!("sweep point failed: {m}"),
+        }
+    }
+}
+
+/// The result slot of one job: the point outcome, its wall-clock, and
+/// whether it was served from the memo cache.
 #[derive(Clone)]
 pub struct JobOutcome {
-    /// The (possibly shared) run result.
-    pub run: Arc<RunWithEnergy>,
+    /// The (possibly shared) point outcome.
+    pub run: PointResult,
     /// Wall-clock time this job took on its worker.
     pub wall: Duration,
     /// True when the result came from the memoization cache.
@@ -84,6 +148,12 @@ struct MemoKey {
     seed: u64,
     refs_per_core: u64,
     warmup_refs: u64,
+    /// Fault injection changes results (and may be what a run is *for*),
+    /// so faulted runs never share cache slots with clean ones.
+    faults: Option<FaultConfig>,
+    /// Auditing never changes results, but a faulted audited run can panic
+    /// where its unaudited twin completes — keep them apart.
+    audit: bool,
 }
 
 /// One cache slot. The per-key mutex makes memoization race-free under the
@@ -105,6 +175,8 @@ pub struct SweepSummary {
     pub runs_executed: u64,
     /// Jobs served from the memoization cache.
     pub cache_hits: u64,
+    /// Points that panicked and were isolated ([`PointResult::Failed`]).
+    pub failed: u64,
     /// Total simulated cycles across executed runs (`completion_cycles`).
     pub sim_cycles: u64,
     /// Summed per-job wall-clock of executed runs (CPU-side busy time; with
@@ -128,21 +200,38 @@ fn summary_cell() -> &'static Mutex<SweepSummary> {
 
 /// Snapshot of the process-wide sweep accounting.
 pub fn summary() -> SweepSummary {
-    *summary_cell().lock().expect("summary lock")
+    *lock_recover(summary_cell())
 }
 
 /// Resets the process-wide sweep accounting (test isolation).
 pub fn reset_summary() {
-    *summary_cell().lock().expect("summary lock") = SweepSummary::default();
+    *lock_recover(summary_cell()) = SweepSummary::default();
 }
 
 /// Empties the memoization cache (test isolation / memory reclamation).
 pub fn clear_memo_cache() {
-    memo_cache().lock().expect("memo lock").clear();
+    lock_recover(memo_cache()).clear();
+}
+
+fn failures_cell() -> &'static Mutex<Vec<String>> {
+    static FAILURES: OnceLock<Mutex<Vec<String>>> = OnceLock::new();
+    FAILURES.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Every isolated point failure since process start (or the last
+/// [`reset_failures`]), in the order workers hit them. The figure harness
+/// prints this as the degraded-sweep summary.
+pub fn failed_points() -> Vec<String> {
+    lock_recover(failures_cell()).clone()
+}
+
+/// Clears the failed-point registry (test isolation).
+pub fn reset_failures() {
+    lock_recover(failures_cell()).clear();
 }
 
 fn record(executed: bool, sim_cycles: u64, wall: Duration) {
-    let mut s = summary_cell().lock().expect("summary lock");
+    let mut s = lock_recover(summary_cell());
     if executed {
         s.runs_executed += 1;
         s.sim_cycles += sim_cycles;
@@ -152,55 +241,79 @@ fn record(executed: bool, sim_cycles: u64, wall: Duration) {
     }
 }
 
-/// Runs one job: build the workload, consult the cache, simulate on a miss.
+/// Registers one isolated failure and builds its outcome.
+fn fail_outcome(job: &RunJob, workload: Option<&str>, msg: String, t0: Instant) -> JobOutcome {
+    let desc = format!(
+        "{} on config {:016x} (seed {:#x}): {msg}",
+        workload.unwrap_or("<workload construction>"),
+        job.cfg.fingerprint(),
+        job.seed
+    );
+    lock_recover(failures_cell()).push(desc.clone());
+    lock_recover(summary_cell()).failed += 1;
+    JobOutcome {
+        run: PointResult::Failed(desc),
+        wall: t0.elapsed(),
+        cache_hit: false,
+    }
+}
+
+/// Runs one job: build the workload, consult the cache, simulate on a
+/// miss. The workload factory and the simulation both run under
+/// `catch_unwind`; a panic yields [`PointResult::Failed`] and leaves the
+/// memo cache slot empty rather than poisoned.
 fn execute_job(job: &RunJob) -> JobOutcome {
     let t0 = Instant::now();
-    let workload = (job.make)();
+    let workload = match catch_unwind(AssertUnwindSafe(|| (job.make)())) {
+        Ok(w) => w,
+        Err(p) => return fail_outcome(job, None, panic_message(p), t0),
+    };
+    let name = workload.name.clone();
     let key = job.memo.then(|| MemoKey {
         fingerprint: job.cfg.fingerprint(),
-        workload: workload.name.clone(),
+        workload: name.clone(),
         seed: job.seed,
         refs_per_core: job.params.refs_per_core,
         warmup_refs: job.params.warmup_refs,
+        faults: job.params.faults,
+        audit: job.params.audit,
     });
-    if let Some(k) = key {
-        let entry: MemoEntry = memo_cache()
-            .lock()
-            .expect("memo lock")
-            .entry(k)
-            .or_default()
-            .clone();
-        let mut slot = entry.lock().expect("memo entry lock");
-        if let Some(run) = slot.clone() {
-            drop(slot);
-            let wall = t0.elapsed();
-            record(false, 0, wall);
-            return JobOutcome {
-                run,
-                wall,
-                cache_hit: true,
-            };
-        }
-        // First claimant: simulate while holding the entry lock so a
-        // concurrent duplicate waits for this result instead of redoing it.
-        let result = Arc::new(run(&job.cfg, workload, &job.params));
-        *slot = Some(result.clone());
+    let entry: Option<MemoEntry> =
+        key.map(|k| lock_recover(memo_cache()).entry(k).or_default().clone());
+    // First claimant of a key simulates while holding the entry lock so a
+    // concurrent duplicate waits for this result instead of redoing it.
+    let mut slot = entry.as_ref().map(|e| lock_recover(e));
+    if let Some(run) = slot.as_deref().and_then(Clone::clone) {
         drop(slot);
         let wall = t0.elapsed();
-        record(true, result.result.completion_cycles, wall);
+        record(false, 0, wall);
         return JobOutcome {
-            run: result,
+            run: PointResult::Ok(run),
             wall,
-            cache_hit: false,
+            cache_hit: true,
         };
     }
-    let result = Arc::new(run(&job.cfg, workload, &job.params));
-    let wall = t0.elapsed();
-    record(true, result.result.completion_cycles, wall);
-    JobOutcome {
-        run: result,
-        wall,
-        cache_hit: false,
+    match catch_unwind(AssertUnwindSafe(|| run(&job.cfg, workload, &job.params))) {
+        Ok(r) => {
+            let result = Arc::new(r);
+            if let Some(s) = slot.as_deref_mut() {
+                *s = Some(result.clone());
+            }
+            drop(slot);
+            let wall = t0.elapsed();
+            record(true, result.result.completion_cycles, wall);
+            JobOutcome {
+                run: PointResult::Ok(result),
+                wall,
+                cache_hit: false,
+            }
+        }
+        Err(p) => {
+            // The slot guard drops unpoisoned (the panic was caught below
+            // it); the empty slot lets a later identical job retry.
+            drop(slot);
+            fail_outcome(job, Some(&name), panic_message(p), t0)
+        }
     }
 }
 
@@ -299,19 +412,17 @@ mod tests {
         let parallel = Engine::new(4).run_grid(&jobs);
         assert_eq!(serial.len(), parallel.len());
         for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
-            assert_eq!(s.run.result.name, apps[i], "slot order preserved");
-            assert_eq!(p.run.result.name, apps[i], "slot order preserved");
+            let (s, p) = (s.run.unwrap(), p.run.unwrap());
+            assert_eq!(s.result.name, apps[i], "slot order preserved");
+            assert_eq!(p.result.name, apps[i], "slot order preserved");
+            assert_eq!(s.result.completion_cycles, p.result.completion_cycles);
             assert_eq!(
-                s.run.result.completion_cycles,
-                p.run.result.completion_cycles
+                s.result.stats.core_cache_misses,
+                p.result.stats.core_cache_misses
             );
             assert_eq!(
-                s.run.result.stats.core_cache_misses,
-                p.run.result.stats.core_cache_misses
-            );
-            assert_eq!(
-                s.run.result.stats.total_traffic_bytes(),
-                p.run.result.stats.total_traffic_bytes()
+                s.result.stats.total_traffic_bytes(),
+                p.result.stats.total_traffic_bytes()
             );
         }
     }
@@ -329,7 +440,7 @@ mod tests {
         let outs = Engine::new(1).run_grid(&jobs);
         assert!(!outs[0].cache_hit);
         assert!(outs[1].cache_hit);
-        assert!(Arc::ptr_eq(&outs[0].run, &outs[1].run));
+        assert!(Arc::ptr_eq(outs[0].run.unwrap(), outs[1].run.unwrap()));
         // A different config misses.
         let mut other = job("blackscholes", seed, true);
         other.cfg.l2_hit_cycles += 1;
@@ -360,10 +471,55 @@ mod tests {
         let jobs = vec![job("dedup", seed, false), job("dedup", seed, false)];
         let outs = Engine::new(2).run_grid(&jobs);
         assert!(!outs[0].cache_hit && !outs[1].cache_hit);
-        assert!(!Arc::ptr_eq(&outs[0].run, &outs[1].run));
+        assert!(!Arc::ptr_eq(outs[0].run.unwrap(), outs[1].run.unwrap()));
         assert_eq!(
-            outs[0].run.result.completion_cycles, outs[1].run.result.completion_cycles,
+            outs[0].run.unwrap().result.completion_cycles,
+            outs[1].run.unwrap().result.completion_cycles,
             "deterministic recompute"
         );
+    }
+
+    #[test]
+    fn panicking_point_is_isolated_and_registered() {
+        let _g = lock();
+        reset_failures();
+        let before = summary();
+        let seed = 0x51ee_d00d_0004;
+        let mut bad = job("facesim", seed, false);
+        bad.make = Arc::new(|| panic!("deliberate test panic"));
+        let jobs = vec![
+            job("facesim", seed, false),
+            bad,
+            job("canneal", seed, false),
+        ];
+        let outs = Engine::new(2).run_grid(&jobs);
+        assert!(outs[0].run.ok().is_some(), "healthy point unaffected");
+        assert!(outs[2].run.ok().is_some(), "healthy point unaffected");
+        assert!(outs[1].run.is_failed());
+        let msg = outs[1].run.failure().expect("failure message");
+        assert!(msg.contains("deliberate test panic"), "got: {msg}");
+        let registry = failed_points();
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry[0], msg);
+        assert_eq!(summary().failed - before.failed, 1);
+        reset_failures();
+    }
+
+    #[test]
+    fn failed_memoized_point_is_not_cached() {
+        let _g = lock();
+        reset_failures();
+        let seed = 0x51ee_d00d_0005;
+        let mut bad = job("freqmine", seed, true);
+        bad.make = Arc::new(|| panic!("first attempt fails"));
+        let outs = Engine::new(1).run_grid(std::slice::from_ref(&bad));
+        assert!(outs[0].run.is_failed());
+        // The identical key retries from scratch instead of replaying the
+        // failure (or a poisoned slot) out of the cache.
+        let good = job("freqmine", seed, true);
+        let outs = Engine::new(1).run_grid(std::slice::from_ref(&good));
+        assert!(!outs[0].cache_hit, "failure must not populate the cache");
+        assert!(outs[0].run.ok().is_some());
+        reset_failures();
     }
 }

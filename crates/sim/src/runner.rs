@@ -2,7 +2,8 @@
 
 use crate::energy::{energy, EnergyReport};
 use crate::engine::{SimResult, Simulation};
-use zerodev_common::SystemConfig;
+use crate::faults::FaultConfig;
+use zerodev_common::{env, SystemConfig};
 use zerodev_workloads::Workload;
 
 /// Run length parameters.
@@ -23,6 +24,9 @@ pub struct RunParams {
     /// first violation. Audited runs produce byte-identical statistics;
     /// release sweeps leave this off and pay nothing.
     pub audit: bool,
+    /// Deterministic fault injection ([`crate::faults`]); `None` (the
+    /// default, `ZERODEV_FAULTS` unset) is zero-cost-off.
+    pub faults: Option<FaultConfig>,
 }
 
 /// Worker count used when `ZERODEV_THREADS` is unset: all available cores.
@@ -41,6 +45,7 @@ impl Default for RunParams {
             warmup_refs: 25_000,
             threads: default_threads(),
             audit: false,
+            faults: None,
         }
     }
 }
@@ -56,21 +61,21 @@ impl RunParams {
     }
 
     /// Reads `ZERODEV_QUICK=1` to switch every harness to the quick profile,
-    /// `ZERODEV_THREADS=N` to set the sweep worker count (`1` = serial), and
-    /// `ZERODEV_AUDIT=1` to run every simulation under the coherence oracle.
+    /// `ZERODEV_THREADS=N` to set the sweep worker count (`1` = serial),
+    /// `ZERODEV_AUDIT=1` to run every simulation under the coherence oracle,
+    /// and `ZERODEV_FAULTS=<spec>` to arm deterministic fault injection.
+    /// All parsing goes through [`zerodev_common::env`]: an invalid value
+    /// warns once on stderr and falls back to the default instead of
+    /// silently misbehaving or aborting a sweep.
     pub fn from_env() -> Self {
-        let mut p = if std::env::var("ZERODEV_QUICK").is_ok_and(|v| v == "1") {
+        let mut p = if env::var_flag("ZERODEV_QUICK") {
             Self::quick()
         } else {
             Self::default()
         };
-        if let Some(n) = std::env::var("ZERODEV_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            p.threads = n.max(1);
-        }
-        p.audit = std::env::var("ZERODEV_AUDIT").is_ok_and(|v| v == "1");
+        p.threads = env::var_or("ZERODEV_THREADS", default_threads()).max(1);
+        p.audit = env::var_flag("ZERODEV_AUDIT");
+        p.faults = FaultConfig::from_env();
         p
     }
 }
@@ -80,6 +85,9 @@ pub fn run(cfg: &SystemConfig, workload: Workload, params: &RunParams) -> RunWit
     let mut sim = Simulation::new(cfg, workload);
     if params.audit {
         sim.enable_audit();
+    }
+    if let Some(fc) = params.faults {
+        sim.set_faults(fc);
     }
     let result = sim.run(params.refs_per_core, params.warmup_refs);
     let e = energy(cfg, &result.stats, result.completion_cycles);
@@ -144,6 +152,6 @@ mod tests {
         let b = run(&cfg, rate("leela", 8, 7).unwrap(), &RunParams::quick());
         assert!((traffic_ratio(&a, &b) - 1.0).abs() < 1e-9);
         assert!((miss_ratio(&a, &b) - 1.0).abs() < 1e-9);
-        assert!((a.speedup_vs(&b) - 1.0).abs() < 1e-9);
+        assert!((a.speedup_vs(&b).expect("same core count") - 1.0).abs() < 1e-9);
     }
 }

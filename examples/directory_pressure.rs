@@ -29,7 +29,10 @@ fn main() {
         let b = run(&bcfg, wl(), &params);
         t.row(&[
             format!("baseline {ratio}"),
-            format!("{:.3}", b.result.speedup_vs(&base.result)),
+            format!(
+                "{:.3}",
+                b.result.speedup_vs(&base.result).expect("same core count")
+            ),
             b.stats.dev_invalidations.to_string(),
             "0".into(),
             "0".into(),
@@ -47,7 +50,10 @@ fn main() {
         let z = run(&zcfg, wl(), &params);
         t.row(&[
             format!("ZeroDEV {ratio}"),
-            format!("{:.3}", z.result.speedup_vs(&base.result)),
+            format!(
+                "{:.3}",
+                z.result.speedup_vs(&base.result).expect("same core count")
+            ),
             z.stats.dev_invalidations.to_string(),
             z.stats.dir_spills.to_string(),
             z.stats.dir_fuses.to_string(),
@@ -61,7 +67,10 @@ fn main() {
     let z = run(&zcfg, wl(), &params);
     t.row(&[
         "ZeroDEV NoDir".into(),
-        format!("{:.3}", z.result.speedup_vs(&base.result)),
+        format!(
+            "{:.3}",
+            z.result.speedup_vs(&base.result).expect("same core count")
+        ),
         z.stats.dev_invalidations.to_string(),
         z.stats.dir_spills.to_string(),
         z.stats.dir_fuses.to_string(),

@@ -40,7 +40,7 @@ fn main() {
 
     println!(
         "\nspeedup (ZeroDEV vs baseline): {:.3}",
-        zd.result.speedup_vs(&base.result)
+        zd.result.speedup_vs(&base.result).expect("same core count")
     );
     println!(
         "DEV invalidations: baseline {} vs ZeroDEV {} (guaranteed zero)",

@@ -23,4 +23,8 @@ echo "== audited figure smoke (quick profile, oracle on) =="
 ZERODEV_QUICK=1 ZERODEV_AUDIT=1 \
     cargo run --release -p zerodev-bench --bin all_figures >/dev/null
 
+echo "== fault campaign smoke (quick matrix) =="
+ZERODEV_QUICK=1 \
+    cargo run --release -p zerodev-bench --bin fault_campaign >/dev/null
+
 echo "CI green."

@@ -29,7 +29,7 @@
 //! let base = run(&baseline, multithreaded("ferret", 8, 1).unwrap(), &params);
 //! let zd = run(&zerodev, multithreaded("ferret", 8, 1).unwrap(), &params);
 //! assert_eq!(zd.stats.dev_invalidations, 0); // the paper's guarantee
-//! let _speedup = zd.result.speedup_vs(&base.result);
+//! let _speedup = zd.result.speedup_vs(&base.result).expect("same core count");
 //! ```
 
 pub use zerodev_cache as cache;
@@ -50,6 +50,6 @@ pub mod prelude {
     };
     pub use zerodev_core::{AccessResult, EvictKind, InvalReason, Invalidation, Op, System};
     pub use zerodev_sim::runner::{run, RunParams};
-    pub use zerodev_sim::{SimResult, Simulation};
+    pub use zerodev_sim::{FaultConfig, FaultStats, SimError, SimResult, Simulation, StateFault};
     pub use zerodev_workloads::{hetero_mix, multithreaded, rate, server, suites, Workload};
 }

@@ -53,8 +53,14 @@ fn baseline_tiny_directory_produces_devs_zerodev_does_not() {
         rate("xalancbmk", 8, 3).unwrap(),
         &quick(),
     );
-    let s_base = b.result.speedup_vs(&full_base.result);
-    let s_zd = z.result.speedup_vs(&full_base.result);
+    let s_base = b
+        .result
+        .speedup_vs(&full_base.result)
+        .expect("same core count");
+    let s_zd = z
+        .result
+        .speedup_vs(&full_base.result)
+        .expect("same core count");
     assert!(
         s_zd > s_base,
         "ZeroDEV ({s_zd:.3}) must beat the baseline ({s_base:.3}) at 1/32x"
@@ -69,7 +75,7 @@ fn zerodev_nodir_tracks_baseline_on_friendly_workload() {
         &quick(),
     );
     let z = run(&zerodev_nodir(), rate("leela", 8, 5).unwrap(), &quick());
-    let s = z.result.speedup_vs(&base.result);
+    let s = z.result.speedup_vs(&base.result).expect("same core count");
     assert!(
         (0.9..=1.1).contains(&s),
         "cache-friendly workload should be near-neutral, got {s:.3}"
