@@ -250,21 +250,24 @@ impl<T> SetAssoc<T> {
     }
 
     /// Chooses a victim way in `set`, preferring unprotected lines and
-    /// never selecting an excluded one unless every line is excluded.
+    /// never selecting an excluded one. Returns `None` when every line in
+    /// the set is excluded — exclusion is a hard bar, not a preference (a
+    /// victimised "excluded" line is exactly the bug class the exclusion
+    /// exists to prevent; see `insert_excluding`).
     ///
     /// For LRU this scans the recency stack from the LRU end for the first
     /// line with `protected(data) == false`, falling back to the true LRU
-    /// line when everything is protected — the paper's `dataLRU` search.
-    /// For NRU it scans for a not-referenced unprotected line, clearing all
-    /// reference bits when none qualifies (classic 1-bit NRU). `excluded`
-    /// receives the candidate's full key and is a hard bar on top of either
-    /// search.
+    /// non-excluded line when everything is protected — the paper's
+    /// `dataLRU` search. For NRU it scans for a not-referenced unprotected
+    /// line, clearing all reference bits when none qualifies (classic 1-bit
+    /// NRU). `excluded` receives the candidate's full key and is a hard bar
+    /// on top of either search.
     fn pick_victim_way(
         &mut self,
         set: usize,
         protected: impl Fn(&T) -> bool,
         excluded: impl Fn(u64, &T) -> bool,
-    ) -> usize {
+    ) -> Option<usize> {
         let bar = |this: &Self, w: usize| {
             let l = this.line(set, w);
             excluded(
@@ -281,18 +284,18 @@ impl<T> SetAssoc<T> {
                     if !protected(l.data.as_ref().expect("valid line has data"))
                         && !bar(self, w as usize)
                     {
-                        return w as usize;
+                        return Some(w as usize);
                     }
                 }
                 // Everything unexcluded is protected: true LRU among the
-                // non-excluded lines, true LRU outright as the last resort.
+                // non-excluded lines.
                 let stack = &self.recency[set];
                 for &w in stack.iter().rev() {
                     if !bar(self, w as usize) {
-                        return w as usize;
+                        return Some(w as usize);
                     }
                 }
-                *self.recency[set].last().expect("non-empty stack") as usize
+                None
             }
             Replacement::Nru => {
                 // Two passes: unprotected & not-referenced, then clear bits.
@@ -303,7 +306,7 @@ impl<T> SetAssoc<T> {
                             && !protected(l.data.as_ref().expect("valid line has data"))
                             && !bar(self, w)
                         {
-                            return w;
+                            return Some(w);
                         }
                     }
                     if pass == 0 {
@@ -312,9 +315,8 @@ impl<T> SetAssoc<T> {
                         }
                     }
                 }
-                // Everything protected: the first non-excluded way, way 0
-                // as the last resort.
-                (0..self.ways).find(|&w| !bar(self, w)).unwrap_or(0)
+                // Everything protected: the first non-excluded way.
+                (0..self.ways).find(|&w| !bar(self, w))
             }
         }
     }
@@ -330,27 +332,38 @@ impl<T> SetAssoc<T> {
         data: T,
         protected: impl Fn(&T) -> bool,
     ) -> Option<(u64, T)> {
-        self.insert_excluding(key, data, protected, |_, _| false)
+        match self.insert_excluding(key, data, protected, |_, _| false) {
+            Ok(evicted) => evicted,
+            Err(_) => unreachable!("nothing is excluded, so insertion cannot be refused"),
+        }
     }
 
     /// [`Self::insert`] with a hard exclusion: a line for which `excluded`
     /// returns true (given its full key and payload) is never chosen as the
-    /// victim unless every line in the set is excluded. Lets a caller
-    /// shield a specific resident line from its own insertion — e.g. a
-    /// directory-entry spill must not displace its own block's data line.
+    /// victim. Lets a caller shield a specific resident line from its own
+    /// insertion — e.g. a directory-entry spill must not displace its own
+    /// block's data line.
+    ///
+    /// # Errors
+    /// When the set is full and every line in it is excluded, the insertion
+    /// is *refused*: nothing changes and the payload comes back as `Err`.
+    /// (Victimising the excluded line instead would defeat the exclusion —
+    /// the caller asked for it precisely because that eviction is unsafe.)
     pub fn insert_excluding(
         &mut self,
         key: u64,
         data: T,
         protected: impl Fn(&T) -> bool,
         excluded: impl Fn(u64, &T) -> bool,
-    ) -> Option<(u64, T)> {
+    ) -> Result<Option<(u64, T)>, T> {
         let set = self.set_of(key);
         let tag = self.tag_of(key);
         let (way, evicted) = match self.pick_invalid_way(set) {
             Some(w) => (w, None),
             None => {
-                let w = self.pick_victim_way(set, protected, excluded);
+                let Some(w) = self.pick_victim_way(set, protected, excluded) else {
+                    return Err(data);
+                };
                 let victim_key = self.key_of(set, self.line(set, w).tag);
                 stack_remove(&mut self.recency[set], w as u8);
                 self.live -= 1;
@@ -366,7 +379,7 @@ impl<T> SetAssoc<T> {
         line.data = Some(data);
         self.live += 1;
         self.promote(set, way);
-        evicted
+        Ok(evicted)
     }
 
     /// Inserts only if an invalid way exists (the ZeroDEV replacement-
@@ -495,6 +508,79 @@ mod tests {
         let removed = c.remove(6, |v| v % 2 == 1);
         assert_eq!(removed, Some(101));
         assert_eq!(c.peek(6, |v| v % 2 == 0), Some(&100));
+    }
+
+    #[test]
+    fn excluded_line_is_never_victimised() {
+        // The excluded line sits at the LRU end — the natural victim — but
+        // exclusion is a hard bar: the next line up must be taken instead.
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 3, Replacement::Lru);
+        c.insert(0, 100, none);
+        c.insert(1, 101, none);
+        c.insert(2, 102, none);
+        // MRU->LRU: 2,1,0 — key 0 is LRU-most and excluded.
+        let v = c
+            .insert_excluding(3, 103, none, |k, _| k == 0)
+            .expect("a non-excluded victim exists");
+        assert_eq!(v, Some((1, 101)), "next-LRU line evicted instead");
+        assert_eq!(c.peek(0, any), Some(&100), "excluded line survives");
+    }
+
+    #[test]
+    fn excluded_way_is_only_valid_victim() {
+        // The corner: the set is full and every line is excluded, so the
+        // *only* candidate is the line the caller shielded. Victimising it
+        // would defeat the exclusion — the insertion must be refused with
+        // the set untouched.
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 1, Replacement::Lru);
+        c.insert(0, 100, none);
+        let refused = c.insert_excluding(1, 101, none, |k, _| k == 0);
+        assert_eq!(refused, Err(101), "payload handed back on refusal");
+        assert_eq!(c.peek(0, any), Some(&100), "excluded line untouched");
+        assert_eq!(c.peek(1, any), None, "refused payload not inserted");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalid_way_sidesteps_exclusion() {
+        // With a free way the exclusion never comes into play: the payload
+        // lands in the invalid way and the excluded line is untouched.
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 2, Replacement::Lru);
+        c.insert(0, 100, none);
+        let v = c
+            .insert_excluding(1, 101, none, |k, _| k == 0)
+            .expect("free way exists");
+        assert_eq!(v, None);
+        assert_eq!(c.peek(0, any), Some(&100));
+        assert_eq!(c.peek(1, any), Some(&101));
+    }
+
+    #[test]
+    fn exclusion_overrides_protection_fallback() {
+        // All lines protected, all but one excluded: the protected-line
+        // fallback must still honour the exclusion bar.
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 2, Replacement::Lru);
+        c.insert(0, 100, none);
+        c.insert(1, 101, none);
+        let v = c
+            .insert_excluding(2, 102, any, |k, _| k == 0)
+            .expect("one non-excluded line remains");
+        assert_eq!(
+            v,
+            Some((1, 101)),
+            "excluded line skipped even when all protected"
+        );
+        assert_eq!(c.peek(0, any), Some(&100));
+    }
+
+    #[test]
+    fn nru_refuses_all_excluded_set() {
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 2, Replacement::Nru);
+        c.insert(0, 100, none);
+        c.insert(1, 101, none);
+        let refused = c.insert_excluding(2, 102, none, |_, _| true);
+        assert_eq!(refused, Err(102));
+        assert_eq!(c.len(), 2);
     }
 
     #[test]

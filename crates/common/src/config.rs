@@ -457,6 +457,11 @@ pub struct SystemConfig {
     pub inter_socket_cycles: u64,
     /// Socket-level directory handling (multi-socket only).
     pub socket_dir: SocketDirBacking,
+    /// Sets in each home socket's socket-directory cache (8 ways each;
+    /// multi-socket only). The default models a 256K-entry cache; tiny
+    /// model-checking configurations shrink it so machine snapshots stay
+    /// cheap to clone.
+    pub socket_dir_cache_sets: usize,
 }
 
 impl SystemConfig {
@@ -488,6 +493,7 @@ impl SystemConfig {
             dram: DramConfig::default(),
             inter_socket_cycles: 80,
             socket_dir: SocketDirBacking::MemoryBacked,
+            socket_dir_cache_sets: 8192,
         }
     }
 
@@ -630,6 +636,11 @@ impl SystemConfig {
         }
         if self.sockets > 32 {
             return Err(ConfigError("SocketSet supports at most 32 sockets".into()));
+        }
+        if !self.socket_dir_cache_sets.is_power_of_two() {
+            return Err(ConfigError(
+                "socket-dir cache sets must be a power of two".into(),
+            ));
         }
         match &self.directory {
             DirectoryKind::None if self.zerodev.is_none() => {

@@ -16,6 +16,10 @@
 //! * [`env`] — graceful environment-variable parsing (warn + default on
 //!   bad values) shared by every harness knob.
 //! * [`table`] — plain-text table rendering for the figure harnesses.
+//! * [`protocol`] — the protocol vocabulary ([`protocol::Op`],
+//!   [`protocol::EvictKind`], invalidations/downgrades) and the pure
+//!   decision rules shared by the concrete engine and the exhaustive model
+//!   checker.
 //!
 //! # Example
 //!
@@ -35,6 +39,7 @@ pub mod env;
 pub mod ids;
 pub mod mesi;
 pub mod msg;
+pub mod protocol;
 pub mod rng;
 pub mod stats;
 pub mod table;

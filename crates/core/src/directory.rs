@@ -76,7 +76,7 @@ pub enum AllocOutcome {
 }
 
 /// The dedicated directory structure of one socket.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum DirStore {
     /// Traditional set-associative sparse directory (1-bit NRU).
     Sparse {

@@ -44,10 +44,12 @@ pub mod memdir;
 pub mod mgd;
 pub mod oracle;
 pub mod secdir;
+pub mod step;
 pub mod system;
 
 pub use compress::{CompressedEntry, SegmentFormatExt};
 pub use directory::{DirEntry, DirStore};
 pub use llc::{LlcBank, LlcLine};
 pub use oracle::{AuditEvent, EventLog, Oracle};
+pub use step::{ProtocolEvent, ProtocolHarness, StepViolation};
 pub use system::{AccessResult, EvictKind, InvalReason, Invalidation, Op, StateFault, System};

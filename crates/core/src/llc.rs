@@ -67,13 +67,19 @@ pub enum SpillOutcome {
     Updated,
     /// A new line was allocated (possibly displacing a victim).
     Inserted(Option<LlcVictim>),
+    /// The set had no line the spill may displace — the only resident
+    /// candidate was the entry's own block data line, which a spill must
+    /// never victimise. The entry comes back to the caller, who sends it
+    /// home via WB_DE instead (reachable only in degenerate, e.g. 1-way,
+    /// geometries).
+    Refused(DirEntry),
 }
 
 impl SpillOutcome {
     /// The displaced victim, if a new line evicted one.
     pub fn victim(self) -> Option<LlcVictim> {
         match self {
-            SpillOutcome::Updated => None,
+            SpillOutcome::Updated | SpillOutcome::Refused(_) => None,
             SpillOutcome::Inserted(v) => v,
         }
     }
@@ -81,7 +87,7 @@ impl SpillOutcome {
 
 /// One LLC bank: a set-associative array of [`LlcLine`]s plus a port
 /// busy-time used for bank-contention modelling.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct LlcBank {
     array: SetAssoc<LlcLine>,
     banks: u64,
@@ -215,16 +221,20 @@ impl LlcBank {
         // inclusive LLC that would back-invalidate the private copies (one
         // of which may be a requester whose grant is still in flight) and
         // free the very entry being installed.
-        SpillOutcome::Inserted(
-            self.array
-                .insert_excluding(
-                    key,
-                    LlcLine::Spilled { entry },
-                    Self::protected(policy),
-                    |k, line| k == key && line.holds_block(),
-                )
-                .map(|(k, line)| (self.block_of(k), line)),
-        )
+        match self.array.insert_excluding(
+            key,
+            LlcLine::Spilled { entry },
+            Self::protected(policy),
+            |k, line| k == key && line.holds_block(),
+        ) {
+            Ok(evicted) => {
+                SpillOutcome::Inserted(evicted.map(|(k, line)| (self.block_of(k), line)))
+            }
+            Err(line) => match line {
+                LlcLine::Spilled { entry } => SpillOutcome::Refused(entry),
+                _ => unreachable!("the refused payload is the spill we submitted"),
+            },
+        }
     }
 
     /// Fuses `entry` into the existing block line for `block`.
@@ -286,6 +296,15 @@ impl LlcBank {
     /// invariant checks).
     pub fn iter(&self) -> impl Iterator<Item = (BlockAddr, &LlcLine)> + '_ {
         self.array.iter().map(|(k, l)| (self.block_of(k), l))
+    }
+
+    /// The contents of the set `block` maps to, in MRU→LRU order (the model
+    /// checker's canonical state encoding includes replacement order).
+    pub fn set_contents_mru(&self, block: BlockAddr) -> Vec<(BlockAddr, LlcLine)> {
+        self.array
+            .iter_set(self.key(block))
+            .map(|(k, l)| (self.block_of(k), *l))
+            .collect()
     }
 
     /// Number of valid lines.
@@ -372,6 +391,39 @@ mod tests {
             .is_none());
         assert_eq!(b.spilled_entry(blk(0)).unwrap().sharers.count(), 2);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn spill_refused_when_only_candidate_is_own_block_line() {
+        // 1-way degenerate set: the only resident line is the entry's own
+        // block data line, which a spill must never displace. The entry
+        // comes back for the caller to WB_DE home.
+        let mut b = bank(1, 1);
+        b.fill_data(blk(0), true, LlcReplacement::Lru);
+        let e = DirEntry::owned(CoreId(0));
+        match b.spill_entry(blk(0), e, LlcReplacement::Lru) {
+            SpillOutcome::Refused(got) => assert_eq!(got, e),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(b.block_line(blk(0)), Some(LlcLine::Data { dirty: true }));
+        assert_eq!(b.spilled_entry(blk(0)), None);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn spill_displaces_other_blocks_line_in_one_way_set() {
+        // Same 1-way geometry, but the resident line belongs to a different
+        // block: it is fair game and the spill lands.
+        let mut b = bank(1, 1);
+        b.fill_data(blk(1), false, LlcReplacement::Lru);
+        let e = DirEntry::owned(CoreId(0));
+        match b.spill_entry(blk(0), e, LlcReplacement::Lru) {
+            SpillOutcome::Inserted(victim) => {
+                assert_eq!(victim, Some((blk(1), LlcLine::Data { dirty: false })));
+            }
+            other => panic!("expected insertion, got {other:?}"),
+        }
+        assert_eq!(b.spilled_entry(blk(0)), Some(e));
     }
 
     #[test]

@@ -100,13 +100,13 @@ pub struct SocketDirLookup {
     pub cached: bool,
 }
 
-/// Entries in the socket-level directory cache (per home socket).
-const SOCKET_DIR_CACHE_SETS: usize = 8192;
+/// Ways in the socket-level directory cache (per home socket); the set
+/// count comes from `SystemConfig::socket_dir_cache_sets`.
 const SOCKET_DIR_CACHE_WAYS: usize = 8;
 
 /// The memory side of one machine: per-socket DRAM plus corrupted-block
 /// bookkeeping and the socket-level directory for every home socket.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MemorySide {
     drams: Vec<DramModel>,
     corrupted: HashMap<BlockAddr, CorruptedBlock>,
@@ -131,13 +131,18 @@ impl MemorySide {
         MemorySide {
             drams: (0..cfg.sockets).map(|_| DramModel::new(cfg.dram)).collect(),
             corrupted: HashMap::new(),
+            // Single-socket machines never consult the socket directory, so
+            // they carry a token 1-set cache: cloning a machine snapshot (the
+            // model checker does this per explored state) must not pay for
+            // 64K unused lines per socket.
             dir_caches: (0..cfg.sockets)
                 .map(|_| {
-                    SetAssoc::new(
-                        SOCKET_DIR_CACHE_SETS,
-                        SOCKET_DIR_CACHE_WAYS,
-                        Replacement::Lru,
-                    )
+                    let sets = if cfg.sockets == 1 {
+                        1
+                    } else {
+                        cfg.socket_dir_cache_sets
+                    };
+                    SetAssoc::new(sets, SOCKET_DIR_CACHE_WAYS, Replacement::Lru)
                 })
                 .collect(),
             dir_backing: (0..cfg.sockets).map(|_| HashMap::new()).collect(),
@@ -400,10 +405,12 @@ mod tests {
 
     #[test]
     fn socket_dir_survives_cache_eviction() {
-        let mut m = mem(2);
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.sockets = 2;
+        let stride = cfg.socket_dir_cache_sets as u64;
+        let mut m = MemorySide::new(&cfg);
         let home = SocketId(0);
         // Overflow one cache set: same set index, distinct tags.
-        let stride = SOCKET_DIR_CACHE_SETS as u64;
         for i in 0..(SOCKET_DIR_CACHE_WAYS as u64 + 4) {
             m.socket_dir_update(
                 home,

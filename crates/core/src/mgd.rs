@@ -38,7 +38,7 @@ impl MgdEntry {
 }
 
 /// The dual-grain directory of one socket.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MultiGrainDir {
     array: SetAssoc<MgdEntry>,
     /// Region entries allocated (diagnostics).

@@ -33,7 +33,7 @@ enum Residency {
 }
 
 /// The SecDir structure of one socket.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SecDir {
     shared: SetAssoc<DirEntry>,
     private: Vec<SetAssoc<PrivEntry>>,

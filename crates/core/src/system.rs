@@ -34,72 +34,16 @@ use zerodev_common::config::{
     ConfigError, LlcDesign, LlcReplacement, SpillPolicy, SystemConfig, ZeroDevConfig,
 };
 use zerodev_common::ids::{SharerSet, SocketSet};
+use zerodev_common::protocol::{self, EntryPlacement};
 use zerodev_common::{
     BlockAddr, CoreId, Cycle, DirState, MesiState, MsgClass, Prng, SocketId, Stats,
 };
 use zerodev_noc::SocketTopology;
 
-/// A core-cache request arriving at the uncore.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum Op {
-    /// Demand data read (GetS).
-    Read,
-    /// Instruction fetch; code blocks always fill in S state (§III-A).
-    CodeRead,
-    /// Write miss (GetX / read-exclusive).
-    ReadExclusive,
-    /// Write hit on an S-state private copy (upgrade, dataless response).
-    Upgrade,
-}
-
-/// The kind of private-cache eviction being notified.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum EvictKind {
-    /// Clean eviction of an S-state copy (dataless notice).
-    CleanShared,
-    /// Clean eviction of an E-state copy (dataless; under ZeroDEV it carries
-    /// the low reconstruction bits of a fused line, §III-C2).
-    CleanExclusive,
-    /// Dirty eviction of an M-state copy (full-block writeback).
-    Dirty,
-}
-
-/// Why a private copy is being invalidated.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum InvalReason {
-    /// Directory-entry eviction — a DEV. ZeroDEV guarantees none occur.
-    Dev,
-    /// LLC inclusion victim (inclusive designs only).
-    Inclusion,
-    /// Ordinary coherence (a write invalidating sharers).
-    Coherence,
-}
-
-/// An invalidation the caller must apply to a private cache.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Invalidation {
-    /// Socket of the core losing its copy.
-    pub socket: SocketId,
-    /// The core losing its copy.
-    pub core: CoreId,
-    /// The block.
-    pub block: BlockAddr,
-    /// Why.
-    pub reason: InvalReason,
-}
-
-/// A downgrade (M/E → S) the caller must apply to a private cache. If the
-/// line was M, the caller reports the dirty data via
-/// [`System::sharing_writeback`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub struct Downgrade {
-    /// Socket of the owning core.
-    pub socket: SocketId,
-    /// The owning core.
-    pub core: CoreId,
-    /// The block.
-    pub block: BlockAddr,
-}
+// The request/eviction/invalidation vocabulary is shared with the model
+// checker and lives in `zerodev_common::protocol`; re-exported here so the
+// engine's callers keep their historical import paths.
+pub use zerodev_common::protocol::{Downgrade, EvictKind, InvalReason, Invalidation, Op};
 
 /// The outcome of one uncore transaction.
 #[derive(Clone, Debug)]
@@ -144,6 +88,7 @@ enum EntryLoc {
 }
 
 /// Per-socket uncore state.
+#[derive(Clone, Debug)]
 struct Socket {
     banks: Vec<LlcBank>,
     dir: DirStore,
@@ -151,6 +96,9 @@ struct Socket {
 }
 
 /// The complete coherent machine: all sockets plus the memory side.
+/// `Clone` deep-copies the entire machine state — the model checker snapshots
+/// systems this way while exploring the reachable-state graph.
+#[derive(Clone, Debug)]
 pub struct System {
     cfg: SystemConfig,
     sockets: Vec<Socket>,
@@ -461,7 +409,7 @@ impl System {
         now: Cycle,
         block: BlockAddr,
         invals: &mut Vec<Invalidation>,
-    ) -> Option<(DirEntry, EntryLoc)> {
+    ) -> Option<(DirEntry, Option<EntryLoc>)> {
         let home = self.cfg.home_socket(block);
         self.stats.msg(MsgClass::MemRead);
         if home.0 as usize != s {
@@ -479,8 +427,9 @@ impl System {
         let entry = self.mem.extract_entry(block, SocketId(s as u8))?;
         self.install_entry(now, s, block, entry, invals);
         self.track_live(-1); // re-installed, not newly live
-        let loc = self.relocate(s, block).expect("entry just installed");
-        Some((entry, loc))
+                             // A degenerate LLC can refuse the placement and bounce the entry
+                             // straight back home (WB_DE); `None` then means "still housed".
+        Some((entry, self.relocate(s, block)))
     }
 
     // ---------------------------------------------------------------------
@@ -564,13 +513,9 @@ impl System {
         let zd = self.zd().expect("overflow only occurs under ZeroDEV");
         let bank = self.bank_of(block);
         let has_block = self.sockets[s].banks[bank].block_line(block).is_some();
-        let fuse = match zd.policy {
-            SpillPolicy::SpillAll => false,
-            SpillPolicy::FusePrivateSpillShared => has_block && entry.state.is_owned(),
-            SpillPolicy::FuseAll => has_block,
-        };
+        let placement = protocol::overflow_placement(zd.policy, has_block, entry.state.is_owned());
         self.stats.llc_dir_accesses += 1;
-        if fuse {
+        if placement == EntryPlacement::Fuse {
             // Fusing rides along with the block's own fill/update — no
             // separate data-array access (the FPSS design point, §III-C2).
             self.stats.dir_fuses += 1;
@@ -586,6 +531,12 @@ impl System {
                     if let Some(v) = victim {
                         self.handle_llc_victim(now, s, v, invals);
                     }
+                }
+                SpillOutcome::Refused(e) => {
+                    // Degenerate set: the only displaceable line is the
+                    // entry's own block data line. The entry goes straight
+                    // home (WB_DE) instead; GET_DE recalls it later.
+                    self.wbde(now, s, block, e);
                 }
             }
         }
@@ -604,7 +555,7 @@ impl System {
     ) {
         debug_assert!(!entry.is_dead());
         let bank = self.bank_of(block);
-        let fpss = self.zd().map(|z| z.policy) == Some(SpillPolicy::FusePrivateSpillShared);
+        let spill_policy = self.zd().map(|z| z.policy);
         match loc {
             EntryLoc::Dedicated => {
                 let victims = self.sockets[s].dir.update(block, entry);
@@ -617,7 +568,9 @@ impl System {
                 self.stats.llc_dir_accesses += 1;
                 self.stats.llc_data_accesses += 1;
                 let has_block = self.sockets[s].banks[bank].block_line(block).is_some();
-                if fpss && entry.state.is_owned() && has_block {
+                if spill_policy.is_some_and(|p| {
+                    protocol::refuse_on_update(p, entry.state.is_owned(), has_block)
+                }) {
                     // S→M/E with the block resident: fuse, free the spill.
                     if self.sockets[s].banks[bank].remove_spilled(block).is_some() {
                         self.stats.adjust_spilled_lines(-1);
@@ -638,12 +591,21 @@ impl System {
                                 self.handle_llc_victim(now, s, v, invals);
                             }
                         }
+                        SpillOutcome::Refused(e) => {
+                            // Vanished mid-transaction and the set cannot
+                            // take it back: replace the housed segment with
+                            // the updated entry.
+                            let _ = self.mem.extract_entry(block, SocketId(s as u8));
+                            self.wbde(now, s, block, e);
+                        }
                     }
                 }
             }
             EntryLoc::Fused => {
                 self.stats.llc_dir_accesses += 1;
-                if fpss && !entry.state.is_owned() {
+                if spill_policy
+                    .is_some_and(|p| protocol::unfuse_on_update(p, entry.state.is_owned()))
+                {
                     self.stats.llc_data_accesses += 1; // the new spill write
                                                        // M/E→S: spill the entry and reconstruct the block from
                                                        // the owner's low bits sent with the busy-clear message.
@@ -658,6 +620,14 @@ impl System {
                             if let Some(v) = victim {
                                 self.handle_llc_victim(now, s, v, invals);
                             }
+                        }
+                        SpillOutcome::Refused(e) => {
+                            // M/E→S un-fuse freed the block's line in this
+                            // set, so a full set means every line belongs to
+                            // other blocks — only a same-key data line can
+                            // be refused. Unreachable, but route home for
+                            // robustness rather than panic.
+                            self.wbde(now, s, block, e);
                         }
                     }
                 } else {
@@ -1023,14 +993,14 @@ impl System {
                 // home memory while sharers still hold copies; recover it
                 // first (read the corrupted block, extract, reinstall).
                 let (entry, loc) = match found {
-                    Some(x) => x,
+                    Some((e, l)) => (e, Some(l)),
                     None => self
                         .recover_housed_entry(&mut t, s, now, block, &mut invals)
                         .expect("upgrade requires a tracked block"),
                 };
                 debug_assert!(entry.sharers.contains(core), "upgrader holds an S copy");
                 debug_assert_eq!(entry.state, DirState::Shared);
-                if loc != EntryLoc::Dedicated {
+                if loc != Some(EntryLoc::Dedicated) {
                     // The entry must be read from the LLC data array before
                     // the invalidation count can be returned.
                     t += self.cfg.llc_data_cycles;
@@ -1309,10 +1279,7 @@ impl System {
         invals: &mut Vec<Invalidation>,
     ) -> u64 {
         let mut worst = 0;
-        for sharer in entry.sharers.iter() {
-            if Some(sharer) == keep {
-                continue;
-            }
+        for sharer in protocol::invalidation_targets(entry.sharers, keep) {
             self.stats.msg(MsgClass::Invalidation);
             self.stats.msg(MsgClass::Ack);
             self.stats.coherence_invalidations += u64::from(reason == InvalReason::Coherence);
@@ -1371,6 +1338,9 @@ impl System {
                         if let Some(v) = victim {
                             self.handle_llc_victim(now, s, v, &mut invals);
                         }
+                    }
+                    SpillOutcome::Refused(_) => {
+                        unreachable!("spill after removing the block line cannot be refused")
                     }
                 }
                 debug_assert!(

@@ -44,16 +44,17 @@ impl System {
             self.stats.two_hop_reads += 1;
             let policy = self.policy();
             self.sockets[s].banks[bank].touch_block(block, policy);
-            let grant = if code {
-                MesiState::Shared
-            } else if self.cfg.sockets > 1 {
+            let grant = if !code && self.cfg.sockets > 1 {
                 // A local LLC data line rules out a remote *owner* (a
                 // remote write would have invalidated it), but remote
                 // sockets may still hold S copies: the home socket-level
                 // directory must be consulted before granting E.
                 self.untracked_read_socket_grant(t, s, block)
             } else {
-                MesiState::Exclusive
+                protocol::untracked_fill_grant(
+                    if code { Op::CodeRead } else { Op::Read },
+                    false,
+                )
             };
             let entry = if grant == MesiState::Exclusive {
                 DirEntry::owned(core)
@@ -85,7 +86,7 @@ impl System {
         s: usize,
         block: BlockAddr,
     ) -> Option<DirEntry> {
-        if !self.mem.is_corrupted(block) {
+        if !protocol::must_recall_housed(self.mem.is_corrupted(block)) {
             return None;
         }
         let me = SocketId(s as u8);
@@ -222,7 +223,7 @@ impl System {
         *t += self.sockets[s]
             .topo
             .bank_mc_latency(bank, 0, MsgClass::MemRead.bytes());
-        if self.mem.is_corrupted(block) {
+        if protocol::must_recall_housed(self.mem.is_corrupted(block)) {
             // The socket's own entry is housed in the home block (§III-D3
             // step 3, degenerate single-socket form): read the corrupted
             // block, extract the entry (one extra cycle), then conclude as
@@ -275,13 +276,14 @@ impl System {
         code: bool,
         invals: &mut Vec<Invalidation>,
     ) -> MesiState {
-        let grant = if exclusive {
-            MesiState::Modified
-        } else if code {
-            MesiState::Shared
-        } else {
-            MesiState::Exclusive
-        };
+        let grant = protocol::untracked_fill_grant(
+            match (exclusive, code) {
+                (true, _) => Op::ReadExclusive,
+                (false, true) => Op::CodeRead,
+                (false, false) => Op::Read,
+            },
+            false,
+        );
         // EPD does not allocate demand fills that land privately (M/E);
         // shared (code) fills do allocate. Other designs always fill.
         let fill = self.cfg.llc_design != LlcDesign::Epd || grant == MesiState::Shared;
@@ -314,9 +316,6 @@ impl System {
         downgrades: &mut Vec<Downgrade>,
     ) -> MesiState {
         let bank = self.bank_of(block);
-        let loc = self
-            .relocate(s, block)
-            .expect("entry was just installed");
         if exclusive {
             let inv_path = self.invalidate_sharers(
                 s,
@@ -335,7 +334,6 @@ impl System {
             let data_path = self.forward_to_core(s, bank, source, core);
             *t += data_path.max(inv_path);
             self.epd_on_private_transition(now, s, block);
-            let _ = loc;
             self.write_entry_anywhere(now, s, block, DirEntry::owned(core), invals);
             let lat = self.socket_level_invalidate(now, s, block, invals);
             *t += lat;
@@ -353,7 +351,6 @@ impl System {
             let mut e = entry;
             e.state = DirState::Shared;
             e.sharers.insert(core);
-            let _ = loc;
             self.write_entry_anywhere(now, s, block, e, invals);
             MesiState::Shared
         } else {
@@ -362,7 +359,10 @@ impl System {
             self.stats.three_hop_reads += 1;
             let mut e = entry;
             e.sharers.insert(core);
-            self.update_entry(now, s, block, e, loc, invals);
+            // The just-installed entry can already have bounced back home
+            // (degenerate LLC refusing the spill), so relocate rather than
+            // assuming an on-socket location.
+            self.write_entry_anywhere(now, s, block, e, invals);
             MesiState::Shared
         }
     }
@@ -491,8 +491,6 @@ impl System {
                         self.stats.msg(MsgClass::SocketCtrl);
                         self.invalidate_socket_copies(now, other.0 as usize, block, invals);
                     }
-                    self.mem
-                        .socket_dir_update(home, block, SocketDirEntry::owned_by(SocketId(s as u8)));
                     let entry = DirEntry::owned(core);
                     self.epd_on_private_transition(now, s, block);
                     if self.cfg.llc_design == LlcDesign::Inclusive {
@@ -501,12 +499,15 @@ impl System {
                         self.fill_llc(now, s, block, false, invals);
                     }
                     self.install_entry(now, s, block, entry, invals);
+                    // Claim socket-level ownership only after the fill and
+                    // install settle: their victim churn can run a nested
+                    // departure_check on this block, which must not see the
+                    // requester in the socket directory while its entry is
+                    // still in flight.
+                    self.mem
+                        .socket_dir_update(home, block, SocketDirEntry::owned_by(SocketId(s as u8)));
                     MesiState::Modified
                 } else {
-                    let mut se = e;
-                    se.owned = false;
-                    se.sharers.insert(SocketId(s as u8));
-                    self.mem.socket_dir_update(home, block, se);
                     // Another socket holds the block too: S either way.
                     let _ = code;
                     let grant = MesiState::Shared;
@@ -516,6 +517,19 @@ impl System {
                     }
                     let entry = DirEntry::shared(core);
                     self.install_entry(now, s, block, entry, invals);
+                    // Publish sharing only now (see the exclusive arm), and
+                    // from the *current* backing state — the churn above may
+                    // have legitimately dropped other sockets.
+                    let mut se = self
+                        .mem
+                        .socket_dir_peek(home, block)
+                        .unwrap_or(SocketDirEntry {
+                            owned: false,
+                            sharers: SocketSet::default(),
+                        });
+                    se.owned = false;
+                    se.sharers.insert(SocketId(s as u8));
+                    self.mem.socket_dir_update(home, block, se);
                     grant
                 }
             }
@@ -545,7 +559,15 @@ impl System {
 
         let mut entry_opt = self.find_entry(f, block);
         if entry_opt.is_none() {
-            if self.sockets[f].banks[bank].block_line(block).is_some() {
+            // A housed segment still naming sharers means F's cores hold
+            // private copies (the entry went home via WB_DE) — possibly an
+            // owner in M whose value the LLC line predates. That case must
+            // take the DENF recovery below, not the LLC-only serve.
+            let tracked_segment = self
+                .mem
+                .peek_entry(block, f_socket)
+                .is_some_and(|e| e.sharers.count() > 0);
+            if !tracked_segment && self.sockets[f].banks[bank].block_line(block).is_some() {
                 // F serves from its LLC (socket-level owner with an
                 // LLC-only copy after its cores evicted).
                 lat += self.cfg.llc_data_cycles;
@@ -574,9 +596,11 @@ impl System {
                     lat += self.cfg.inter_socket_cycles;
                     self.install_entry(now, f, block, entry, invals);
                     self.track_live(-1);
-                    entry_opt = Some((entry, EntryLoc::Dedicated)).map(|_| {
-                        self.find_entry(f, block).expect("entry just installed")
-                    });
+                    // The placement can bounce the entry straight back home
+                    // (degenerate LLC); the location is not consulted below,
+                    // only the entry contents.
+                    entry_opt =
+                        Some(self.find_entry(f, block).unwrap_or((entry, EntryLoc::Dedicated)));
                 }
                 None => {
                     // Synchronous model keeps the socket directory exact, so
@@ -611,8 +635,10 @@ impl System {
                 });
                 let mut e = entry;
                 e.state = DirState::Shared;
-                let loc = self.relocate(f, block).expect("entry present");
-                self.update_entry(now, f, block, e, loc, invals);
+                // The DENF recovery above may have re-installed the entry
+                // into a degenerate LLC that bounced it straight back home;
+                // write it wherever it now lives.
+                self.write_entry_anywhere(now, f, block, e, invals);
                 self.remote_downgrade_writeback(now, f, block);
             }
         }
@@ -663,8 +689,23 @@ impl System {
             }
             self.free_entry(f, block, loc, false);
         }
-        if self.mem.extract_entry(block, SocketId(f as u8)).is_some() {
+        if let Some(entry) = self.mem.extract_entry(block, SocketId(f as u8)) {
             self.track_live(-1);
+            // The housed segment still tracks this socket's private copies
+            // (the entry went home via WB_DE); they must be invalidated
+            // too, or a stale sharer survives the remote write.
+            let n = entry.sharers.count() as u64;
+            self.stats.coherence_invalidations += n;
+            self.stats.msg_n(MsgClass::Invalidation, n);
+            self.stats.msg_n(MsgClass::Ack, n);
+            for core in entry.sharers.iter() {
+                invals.push(Invalidation {
+                    socket: SocketId(f as u8),
+                    core,
+                    block,
+                    reason: InvalReason::Coherence,
+                });
+            }
         }
         let bank = self.bank_of(block);
         let _ = self.sockets[f].banks[bank].remove_block(block);
@@ -829,6 +870,13 @@ impl System {
                     }
                     _ => MsgClass::EvictNotice,
                 });
+                if kind == EvictKind::Dirty {
+                    // The evictor held the block in M, so any LLC data line
+                    // predates that write and is stale. Drop it before the
+                    // writeback concludes at home (Figure 16 step 2), or a
+                    // later untracked read would hit the stale line.
+                    let _ = self.sockets[s].banks[bank].remove_block(block);
+                }
                 self.evict_with_entry_at_home(now, s, core, block, kind, &mut invals);
             }
         }
@@ -951,6 +999,11 @@ impl System {
                 }
                 LlcLine::Spilled { .. } => unreachable!("block_line excludes spilled"),
             }
+        } else if self.cfg.sockets == 1 {
+            // No line survived this transaction's set churn (e.g. an FPSS
+            // M→S un-fuse whose spill victimized the block's own data
+            // line): the dirty data falls through to home memory.
+            self.writeback_to_memory(now, s, block);
         }
         if self.cfg.sockets > 1 {
             self.writeback_to_memory(now, s, block);
@@ -1021,6 +1074,19 @@ impl System {
     /// True when the home-memory copy of `block` is corrupted.
     pub fn memory_corrupted(&self, block: BlockAddr) -> bool {
         self.mem.is_corrupted(block)
+    }
+
+    /// The entry for `block` in `socket`'s *dedicated* directory structure
+    /// only — recency-neutral (model-checker canonicalisation).
+    pub fn dedicated_entry_of(&self, socket: SocketId, block: BlockAddr) -> Option<DirEntry> {
+        self.sockets[socket.0 as usize].dir.peek(block)
+    }
+
+    /// The full contents of the LLC set `block` maps to in `socket`,
+    /// MRU→LRU — replacement order is protocol-visible state, so the model
+    /// checker folds it into its canonical state encoding.
+    pub fn llc_set_of(&self, socket: SocketId, block: BlockAddr) -> Vec<(BlockAddr, LlcLine)> {
+        self.sockets[socket.0 as usize].banks[self.bank_of(block)].set_contents_mru(block)
     }
 
     /// Walks every socket and checks structural protocol invariants:

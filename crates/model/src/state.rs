@@ -1,0 +1,275 @@
+//! Canonical state encoding with core-ID symmetry reduction.
+//!
+//! A state is everything protocol-visible: per-core shadow MESI states, the
+//! symbolic write tokens, directory entries wherever they live (dedicated
+//! structure, spilled/fused LLC lines, housed home-memory segments), LLC set
+//! contents in MRU→LRU order (replacement order steers future spills and
+//! victims, so it is state), home-block corruption, and the socket-level
+//! directory. Timing (cycles, port busy-times, DRAM state) and statistics
+//! are excluded: they never influence a protocol decision.
+//!
+//! Cores within a socket are interchangeable: relabelling them yields a
+//! behaviourally identical machine (every protocol rule is covariant under
+//! the relabelling, and only timing — which we exclude — distinguishes core
+//! indices). The canonical key is therefore the minimum encoding over the
+//! product of per-socket core permutations, which shrinks the explored
+//! graph by up to `cores!^sockets`.
+
+use zerodev_common::ids::SharerSet;
+use zerodev_common::{BlockAddr, CoreId, MesiState, SocketId};
+use zerodev_core::llc::LlcLine;
+use zerodev_core::step::ProtocolHarness;
+use zerodev_core::DirEntry;
+
+fn mesi_byte(s: MesiState) -> u8 {
+    match s {
+        MesiState::Invalid => 0,
+        MesiState::Shared => 1,
+        MesiState::Exclusive => 2,
+        MesiState::Modified => 3,
+    }
+}
+
+/// All permutations of `0..n` (n ≤ 4 in practice).
+fn permutations(n: usize) -> Vec<Vec<u16>> {
+    if n == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut items: Vec<u16> = (0..n as u16).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<u16>, k: usize, out: &mut Vec<Vec<u16>>) {
+    if k == 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// One relabelling: `perm[socket][core] = new core index`.
+type Perm = Vec<Vec<u16>>;
+
+/// The product of per-socket core permutations.
+fn all_perms(sockets: usize, cores: usize) -> Vec<Perm> {
+    let per_socket = permutations(cores);
+    let mut combos: Vec<Perm> = vec![Vec::new()];
+    for _ in 0..sockets {
+        let mut next = Vec::with_capacity(combos.len() * per_socket.len());
+        for c in &combos {
+            for p in &per_socket {
+                let mut c2 = c.clone();
+                c2.push(p.clone());
+                next.push(c2);
+            }
+        }
+        combos = next;
+    }
+    combos
+}
+
+fn remap_sharers(set: SharerSet, perm_s: &[u16]) -> u128 {
+    let mut out = 0u128;
+    for c in set.iter() {
+        let new = *perm_s.get(c.0 as usize).expect("core id within socket");
+        out |= 1 << new;
+    }
+    out
+}
+
+fn remap_global_cores(bits: u128, perm: &Perm, cores: usize) -> u128 {
+    let mut out = 0u128;
+    let mut g = 0usize;
+    while g < 128 {
+        if bits & (1 << g) != 0 {
+            let s = g / cores;
+            let c = g % cores;
+            let new = s * cores
+                + *perm
+                    .get(s)
+                    .and_then(|p| p.get(c))
+                    .expect("global core within machine") as usize;
+            out |= 1 << new;
+        }
+        g += 1;
+    }
+    out
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_entry(out: &mut Vec<u8>, e: Option<DirEntry>, perm_s: &[u16]) {
+    match e {
+        None => out.push(0),
+        Some(e) => {
+            out.push(1);
+            out.push(if e.state.is_owned() { 1 } else { 2 });
+            push_u128(out, remap_sharers(e.sharers, perm_s));
+        }
+    }
+}
+
+fn push_line(out: &mut Vec<u8>, block: BlockAddr, line: &LlcLine, perm_s: &[u16]) {
+    push_u64(out, block.0);
+    match line {
+        LlcLine::Data { dirty } => {
+            out.push(1);
+            out.push(u8::from(*dirty));
+        }
+        LlcLine::Spilled { entry } => {
+            out.push(2);
+            push_entry(out, Some(*entry), perm_s);
+        }
+        LlcLine::Fused { entry, block_dirty } => {
+            out.push(3);
+            out.push(u8::from(*block_dirty));
+            push_entry(out, Some(*entry), perm_s);
+        }
+    }
+}
+
+fn encode(h: &ProtocolHarness, perm: &Perm) -> Vec<u8> {
+    let sockets = h.sockets();
+    let cores = h.cores();
+    let sys = h.system();
+    let cfg = sys.config();
+    let mut out = Vec::with_capacity(256);
+    // Inverse permutation per socket: slot -> original core.
+    let inv: Vec<Vec<u16>> = perm
+        .iter()
+        .map(|p| {
+            let mut inv = vec![0u16; p.len()];
+            for (orig, &new) in p.iter().enumerate() {
+                *inv.get_mut(new as usize).expect("permutation in range") = orig as u16;
+            }
+            inv
+        })
+        .collect();
+    for &block in h.blocks() {
+        // Shadow states, emitted in relabelled core order.
+        for s in 0..sockets {
+            for slot in 0..cores {
+                let orig = *inv
+                    .get(s)
+                    .and_then(|i| i.get(slot))
+                    .expect("slot within socket");
+                out.push(mesi_byte(h.shadow_state(
+                    SocketId(s as u8),
+                    CoreId(orig),
+                    block,
+                )));
+            }
+        }
+        // Symbolic write token.
+        let tok = h.token(block);
+        push_u128(&mut out, remap_global_cores(tok.cores, perm, cores));
+        out.extend_from_slice(&tok.llc.to_le_bytes());
+        out.push(u8::from(tok.mem));
+        // Directory entries in the dedicated structure.
+        for s in 0..sockets {
+            push_entry(
+                &mut out,
+                sys.dedicated_entry_of(SocketId(s as u8), block),
+                perm.get(s).expect("socket in range"),
+            );
+        }
+        // Home-memory corruption + housed segments.
+        out.push(u8::from(sys.memory_corrupted(block)));
+        for s in 0..sockets {
+            push_entry(
+                &mut out,
+                sys.memory().peek_entry(block, SocketId(s as u8)),
+                perm.get(s).expect("socket in range"),
+            );
+        }
+        // Socket-level directory (socket IDs are not permuted: homes are
+        // address-determined).
+        let home = cfg.home_socket(block);
+        match sys.memory().socket_dir_peek(home, block) {
+            None => out.push(0),
+            Some(e) => {
+                out.push(1);
+                out.push(u8::from(e.owned));
+                out.extend_from_slice(&e.sharers.0.to_le_bytes());
+            }
+        }
+    }
+    // LLC set contents, MRU→LRU, once per distinct (socket, bank, set).
+    let banks = cfg.llc_banks as u64;
+    let sets = cfg.llc_sets_per_bank() as u64;
+    for s in 0..sockets {
+        let mut seen: Vec<(u64, u64)> = Vec::new();
+        for &block in h.blocks() {
+            let bank = block.0 % banks;
+            let set = (block.0 / banks) % sets;
+            if seen.contains(&(bank, set)) {
+                continue;
+            }
+            seen.push((bank, set));
+            let lines = sys.llc_set_of(SocketId(s as u8), block);
+            out.push(lines.len() as u8);
+            for (b, line) in &lines {
+                push_line(&mut out, *b, line, perm.get(s).expect("socket in range"));
+            }
+        }
+    }
+    out
+}
+
+/// The canonical (symmetry-reduced) encoding of a harness state: the
+/// minimum byte encoding over every per-socket core relabelling.
+pub fn canonical_key(h: &ProtocolHarness) -> Vec<u8> {
+    all_perms(h.sockets(), h.cores())
+        .iter()
+        .map(|p| encode(h, p))
+        .min()
+        .expect("at least the identity permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_counts() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(2).len(), 2);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(all_perms(2, 2).len(), 4);
+    }
+
+    #[test]
+    fn sharer_remap_moves_bits() {
+        let mut s = SharerSet::default();
+        s.insert(CoreId(0));
+        // Swap cores 0 and 1.
+        assert_eq!(remap_sharers(s, &[1, 0]), 0b10);
+        s.insert(CoreId(1));
+        assert_eq!(remap_sharers(s, &[1, 0]), 0b11);
+    }
+
+    #[test]
+    fn global_remap_respects_socket_blocks() {
+        // 2 sockets x 2 cores; swap only socket 1's cores.
+        let perm: Perm = vec![vec![0, 1], vec![1, 0]];
+        // Core g=2 (socket 1, core 0) -> g=3.
+        assert_eq!(remap_global_cores(0b0100, &perm, 2), 0b1000);
+        // Socket 0 untouched.
+        assert_eq!(remap_global_cores(0b0001, &perm, 2), 0b0001);
+    }
+}

@@ -1,0 +1,67 @@
+//! Checker-sensitivity proof: every seeded protocol-rule mutation must be
+//! caught by exploration with a non-empty shortest counterexample trace,
+//! and the unmutated protocol must explore clean on the same machines.
+//!
+//! The mutation switch is process-global, so everything runs inside one
+//! `#[test]` — the default parallel test harness must never interleave a
+//! mutated exploration with a clean one.
+
+use zerodev_common::config::{LlcDesign, SpillPolicy};
+use zerodev_common::protocol::{set_mutation, Mutation, ALL_MUTATIONS};
+use zerodev_model::config::tiny;
+use zerodev_model::{explore, Limits};
+
+/// Machines tried per mutation, smallest first; each mutation must trip on
+/// at least one of them.
+const CONFIGS: [(SpillPolicy, LlcDesign, usize, usize); 3] = [
+    (
+        SpillPolicy::FusePrivateSpillShared,
+        LlcDesign::NonInclusive,
+        1,
+        1,
+    ),
+    (SpillPolicy::SpillAll, LlcDesign::NonInclusive, 1, 1),
+    (SpillPolicy::FuseAll, LlcDesign::Epd, 2, 1),
+];
+
+struct ResetMutation;
+
+impl Drop for ResetMutation {
+    fn drop(&mut self) {
+        set_mutation(Mutation::None);
+    }
+}
+
+#[test]
+fn every_seeded_mutation_is_caught_with_a_counterexample() {
+    let _guard = ResetMutation;
+    // Baseline: the shipped protocol explores clean on the hunt machines.
+    for &(p, d, a, w) in &CONFIGS {
+        let mc = tiny(p, d, 2, 1, a, w);
+        let ex = explore(&mc, &Limits::default());
+        assert!(
+            ex.clean() && !ex.truncated,
+            "{}: unmutated protocol must explore clean, got {:?} / {:?}",
+            mc.name,
+            ex.violation,
+            ex.undrainable
+        );
+    }
+    for &m in &ALL_MUTATIONS {
+        set_mutation(m);
+        let caught = CONFIGS.iter().find_map(|&(p, d, a, w)| {
+            let mc = tiny(p, d, 2, 1, a, w);
+            explore(&mc, &Limits::default()).violation
+        });
+        set_mutation(Mutation::None);
+        let v = caught.unwrap_or_else(|| panic!("checker is blind to mutation {m:?}"));
+        assert!(
+            !v.trace.is_empty(),
+            "{m:?}: counterexample must carry a non-empty trace"
+        );
+        assert!(
+            v.render().contains("counterexample"),
+            "{m:?}: rendering must pretty-print the trace"
+        );
+    }
+}

@@ -32,6 +32,7 @@ pub struct AccessEffects {
 }
 
 /// One core's private hierarchy.
+#[derive(Debug)]
 pub struct CoreModel {
     socket: SocketId,
     core: CoreId,

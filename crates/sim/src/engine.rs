@@ -115,6 +115,7 @@ impl SimResult {
 
 /// A running simulation: the protocol engine plus all core models and the
 /// workload's reference generators.
+#[derive(Debug)]
 pub struct Simulation {
     sys: System,
     cores: Vec<CoreModel>,

@@ -224,6 +224,7 @@ pub struct FaultDraw {
 /// [`FaultDraw`] per measured access, and accumulates [`FaultStats`].
 /// Fully determined by its [`FaultConfig`] — two runs with equal configs
 /// inject identical fault sequences.
+#[derive(Debug)]
 pub struct FaultPlan {
     cfg: FaultConfig,
     rng: Prng,

@@ -68,6 +68,18 @@ pub struct RunJob {
     pub memo: bool,
 }
 
+impl std::fmt::Debug for RunJob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunJob")
+            .field("cfg", &self.cfg)
+            .field("make", &"<workload factory>")
+            .field("params", &self.params)
+            .field("seed", &self.seed)
+            .field("memo", &self.memo)
+            .finish()
+    }
+}
+
 impl RunJob {
     /// A memoized job (the default; every harness run is deterministic).
     pub fn new(cfg: SystemConfig, make: WorkloadMaker, params: RunParams, seed: u64) -> Self {
@@ -129,7 +141,7 @@ impl PointResult {
 
 /// The result slot of one job: the point outcome, its wall-clock, and
 /// whether it was served from the memo cache.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct JobOutcome {
     /// The (possibly shared) point outcome.
     pub run: PointResult,

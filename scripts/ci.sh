@@ -27,4 +27,8 @@ echo "== fault campaign smoke (quick matrix) =="
 ZERODEV_QUICK=1 \
     cargo run --release -p zerodev-bench --bin fault_campaign >/dev/null
 
+echo "== model checker smoke (bounded exploration) =="
+ZERODEV_MC_QUICK=1 \
+    cargo run --release -p zerodev_model >/dev/null
+
 echo "CI green."

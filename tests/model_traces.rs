@@ -1,0 +1,44 @@
+//! Replays every committed counterexample-trace fixture under
+//! `tests/model_traces/` against its declared expectation.
+//!
+//! Each fixture pins one protocol bug the model checker found (replayed
+//! clean after the fix) or one checker-sensitivity case (a seeded mutation
+//! that must still trip an invariant). All fixtures run inside a single
+//! `#[test]` because the mutation switch some of them use is
+//! process-global.
+
+use zerodev_model::{parse_fixture, run_fixture};
+
+#[test]
+fn all_committed_trace_fixtures_replay_as_expected() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/model_traces");
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/model_traces exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "trace"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "no .trace fixtures found in {dir} — the regression corpus is gone"
+    );
+    let mut failures = Vec::new();
+    for path in &paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let text = std::fs::read_to_string(path).expect("fixture readable");
+        match parse_fixture(&text) {
+            Ok(fx) => {
+                if let Err(e) = run_fixture(&fx) {
+                    failures.push(format!("{name}: {e}"));
+                }
+            }
+            Err(e) => failures.push(format!("{name}: parse error: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} fixture(s) diverged:\n  {}",
+        failures.len(),
+        failures.join("\n  ")
+    );
+}
