@@ -1,0 +1,71 @@
+//! CI perf regression gate.
+//!
+//! `cargo run --release -p zerodev-bench --bin perf_gate -- <BENCH_prev.json>`
+//!
+//! Re-measures the standardized gate probe (`zerodev_bench::report::
+//! measure_gate`: a fixed serial simulation pair plus a bounded
+//! model-checker exploration) on the current build and compares it against
+//! the `gate_*` numbers of the committed report given as the argument.
+//! Exits nonzero when any gate metric regressed by more than
+//! [`MAX_REGRESSION`] (throughputs: lower is worse). Comparing probe
+//! against probe keeps the check apples-to-apples — the committed report's
+//! full-run numbers depend on that run's mode and thread count, the gate
+//! numbers do not.
+//!
+//! Skip in CI with `ZERODEV_NO_PERF_GATE=1` (handled by `scripts/ci.sh`;
+//! the binary also honours it so a local invocation behaves the same).
+
+use zerodev_bench::report::{json_number, measure_gate};
+use zerodev_common::env;
+
+/// Allowed fractional throughput drop before the gate fails (0.25 = 25%).
+const MAX_REGRESSION: f64 = 0.25;
+
+fn main() {
+    if env::var_flag("ZERODEV_NO_PERF_GATE") {
+        println!("perf gate: skipped (ZERODEV_NO_PERF_GATE=1)");
+        return;
+    }
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: perf_gate <BENCH_prev.json>");
+        std::process::exit(2);
+    });
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("perf gate: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("perf gate: measuring standardized probe (vs {path})...");
+    let fresh = measure_gate();
+    let checks = [
+        ("gate_sim_cycles_per_sec", fresh.sim_cycles_per_sec),
+        ("gate_refs_per_sec", fresh.refs_per_sec),
+        ("gate_mc_states_per_sec", fresh.mc_states_per_sec),
+    ];
+    let mut failed = false;
+    for (key, now) in checks {
+        let Some(prev) = json_number(&committed, key) else {
+            println!("  {key:<28} baseline missing in {path}; skipping");
+            continue;
+        };
+        if prev <= 0.0 {
+            println!("  {key:<28} baseline non-positive ({prev}); skipping");
+            continue;
+        }
+        let ratio = now / prev;
+        let verdict = if ratio < 1.0 - MAX_REGRESSION {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("  {key:<28} {prev:>14.0} -> {now:>14.0}  ({ratio:>5.2}x)  {verdict}");
+    }
+    if failed {
+        eprintln!(
+            "perf gate: throughput regressed more than {:.0}% vs {path}",
+            MAX_REGRESSION * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf gate: ok");
+}

@@ -30,6 +30,7 @@ use zerodev_workloads::{multithreaded, rate, suites, Workload};
 pub mod figures;
 #[cfg(feature = "criterion-benches")]
 pub mod microbench;
+pub mod report;
 
 /// Seed used by every figure harness (results are fully deterministic).
 pub const SEED: u64 = 0x5eed_2021;
@@ -332,7 +333,12 @@ pub fn zerodev_trio() -> Vec<(&'static str, SystemConfig)> {
 /// cycles per second of real time over `elapsed`. Goes to stderr (like the
 /// per-figure timings) so stdout stays byte-identical across thread counts
 /// and machines.
-pub fn print_sweep_summary(elapsed: Duration) {
+///
+/// A degraded run — `failed_figures > 0`, or any `catch_unwind`-isolated
+/// sweep point — is labelled **partial**: the cycle totals then only cover
+/// the work that completed, so presenting them as the full reproduction's
+/// throughput would overstate how fast (or how much of) the sweep ran.
+pub fn print_sweep_summary(elapsed: Duration, failed_figures: usize) {
     let s = parallel::summary();
     eprintln!(
         "sweep engine: {} threads; {} simulations executed, {} baseline-cache hits",
@@ -340,11 +346,22 @@ pub fn print_sweep_summary(elapsed: Duration) {
         s.runs_executed,
         s.cache_hits,
     );
+    let qualifier = if failed_figures > 0 || s.failed > 0 {
+        format!(
+            " (PARTIAL: {failed_figures} figure(s) failed, {} sweep point(s) isolated; \
+             totals cover completed work only)",
+            s.failed
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
-        "throughput: {:.0}M sim-cycles in {:.1}s wall ({:.1}M sim-cycles/s; worker-busy {:.1}s)",
+        "throughput{qualifier}: {:.0}M sim-cycles in {:.1}s wall \
+         ({:.1}M sim-cycles/s; {:.0}K refs/s; worker-busy {:.1}s)",
         s.sim_cycles as f64 / 1e6,
         elapsed.as_secs_f64(),
         s.cycles_per_sec(elapsed) / 1e6,
+        s.refs_per_sec(elapsed) / 1e3,
         s.busy.as_secs_f64(),
     );
 }
@@ -355,20 +372,35 @@ pub fn print_sweep_summary(elapsed: Duration) {
 /// failed figures; when nonzero, a degraded-sweep summary — every failed
 /// figure and every failed sweep point — is printed to stderr.
 pub fn run_figures(figs: &[(&str, fn())]) -> usize {
+    run_figures_timed(figs).iter().filter(|t| t.failed).count()
+}
+
+/// [`run_figures`], additionally returning each figure's wall time and
+/// outcome (the `BENCH_<pr>.json` `figures` array).
+pub fn run_figures_timed(figs: &[(&str, fn())]) -> Vec<report::FigureTiming> {
+    let mut timings = Vec::with_capacity(figs.len());
     let mut failed: Vec<(&str, String)> = Vec::new();
     for &(name, fig) in figs {
         let t0 = std::time::Instant::now();
-        if let Err(p) = std::panic::catch_unwind(fig) {
+        let outcome = std::panic::catch_unwind(fig);
+        let wall = t0.elapsed();
+        let fig_failed = outcome.is_err();
+        if let Err(p) = outcome {
             let msg = p
                 .downcast_ref::<String>()
                 .cloned()
                 .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
                 .unwrap_or_else(|| "non-string panic payload".to_string());
-            eprintln!("[{name}: FAILED after {:?}]", t0.elapsed());
+            eprintln!("[{name}: FAILED after {wall:?}]");
             failed.push((name, msg));
         } else {
-            eprintln!("[{name}: {:?}]", t0.elapsed());
+            eprintln!("[{name}: {wall:?}]");
         }
+        timings.push(report::FigureTiming {
+            name: name.to_string(),
+            secs: wall.as_secs_f64(),
+            failed: fig_failed,
+        });
     }
     if !failed.is_empty() {
         eprintln!("\ndegraded reproduction: {} figure(s) failed", failed.len());
@@ -384,5 +416,5 @@ pub fn run_figures(figs: &[(&str, fn())]) -> usize {
             }
         }
     }
-    failed.len()
+    timings
 }

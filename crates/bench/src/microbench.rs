@@ -45,6 +45,16 @@ impl Bencher {
         self.ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
         self.iters = iters;
     }
+
+    /// Mean measured cost per iteration, in nanoseconds.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.ns_per_iter
+    }
+
+    /// Iterations executed by the last [`Self::iter`] call.
+    pub fn iters(&self) -> u64 {
+        self.iters
+    }
 }
 
 fn human(ns: f64) -> String {
@@ -59,6 +69,13 @@ fn human(ns: f64) -> String {
 
 /// Runs and reports one named benchmark.
 pub fn bench_function(name: &str, f: impl FnOnce(&mut Bencher)) {
+    let _ = bench_function_value(name, f);
+}
+
+/// [`bench_function`], additionally returning the measured ns/iteration so
+/// callers can derive throughput numbers (e.g. for a `BENCH_<pr>.json`
+/// trajectory entry).
+pub fn bench_function_value(name: &str, f: impl FnOnce(&mut Bencher)) -> f64 {
     let mut b = Bencher::default();
     f(&mut b);
     println!(
@@ -66,6 +83,7 @@ pub fn bench_function(name: &str, f: impl FnOnce(&mut Bencher)) {
         human(b.ns_per_iter),
         b.iters
     );
+    b.ns_per_iter
 }
 
 /// A named group (printed as a header, matching the criterion layout).

@@ -9,47 +9,43 @@ pub enum Replacement {
     Nru,
 }
 
-#[derive(Clone, Debug)]
-struct Line<T> {
-    tag: u64,
-    valid: bool,
-    nru_referenced: bool,
-    data: Option<T>,
-}
-
-impl<T> Line<T> {
-    fn empty() -> Self {
-        Line {
-            tag: 0,
-            valid: false,
-            nru_referenced: false,
-            data: None,
-        }
-    }
-}
+/// Per-line metadata bit: the line holds a payload.
+const VALID: u8 = 1 << 0;
+/// Per-line metadata bit: NRU reference bit.
+const NRU_REF: u8 = 1 << 1;
 
 /// Moves `way` to the MRU end of the stack in a single forward pass,
 /// shifting the entries in front of it down one slot; appends it as the
 /// sole shift when absent (a newly filled way). Equivalent to
-/// `remove(pos)` + `insert(0, way)` without the double shift.
+/// `remove(pos)` + `insert(0, way)` without the double shift. A way that
+/// is already MRU is a no-op — the common hit path touches nothing.
+///
+/// `stack` is the full ways-sized slot array of one set; `len` is the
+/// number of live slots (the stack occupies `stack[..len]`).
 #[inline]
-fn stack_promote(stack: &mut Vec<u8>, way: u8) {
+fn stack_promote(stack: &mut [u8], len: &mut u8, way: u8) {
+    let n = *len as usize;
+    if stack[..n].first() == Some(&way) {
+        return;
+    }
     let mut prev = way;
-    for slot in stack.iter_mut() {
+    for slot in stack[..n].iter_mut() {
         std::mem::swap(slot, &mut prev);
         if prev == way {
             return;
         }
     }
-    stack.push(prev);
+    stack[n] = prev;
+    *len += 1;
 }
 
 /// Moves `way` (which must be in the stack — every valid way is) to the
 /// LRU end in a single backward pass.
 #[inline]
-fn stack_demote(stack: &mut [u8], way: u8) {
+fn stack_demote(stack: &mut [u8], len: u8, way: u8) {
+    let n = len as usize;
     let mut prev = way;
-    for slot in stack.iter_mut().rev() {
+    for slot in stack[..n].iter_mut().rev() {
         std::mem::swap(slot, &mut prev);
         if prev == way {
             return;
@@ -61,9 +57,10 @@ fn stack_demote(stack: &mut [u8], way: u8) {
 /// Removes `way` from the stack in a single pass (shifting later entries
 /// up); no-op when absent.
 #[inline]
-fn stack_remove(stack: &mut Vec<u8>, way: u8) {
+fn stack_remove(stack: &mut [u8], len: &mut u8, way: u8) {
+    let n = *len as usize;
     let mut found = false;
-    for i in 0..stack.len() {
+    for i in 0..n {
         if found {
             stack[i - 1] = stack[i];
         } else if stack[i] == way {
@@ -71,7 +68,7 @@ fn stack_remove(stack: &mut Vec<u8>, way: u8) {
         }
     }
     if found {
-        stack.pop();
+        *len -= 1;
     }
 }
 
@@ -85,15 +82,29 @@ fn stack_remove(stack: &mut Vec<u8>, way: u8) {
 ///
 /// All lookup/touch/remove operations take a `pred` on the payload; use
 /// `|_| true` when tags are unique (ordinary caches).
+///
+/// Storage is struct-of-arrays: tags, one-byte line metadata, and payloads
+/// live in three parallel flat vectors, so the hit-path set scan touches
+/// only the tag and metadata lanes. Recency stacks are likewise one flat
+/// ways-per-set array plus a per-set length, with no per-set heap
+/// allocations.
 #[derive(Clone, Debug)]
 pub struct SetAssoc<T> {
     sets: usize,
     ways: usize,
-    lines: Vec<Line<T>>,
-    /// Per-set recency stacks: way indices, MRU first. Maintained for both
-    /// policies (NRU victim search ignores it). Invariant: a set's stack
-    /// holds exactly its valid ways.
-    recency: Vec<Vec<u8>>,
+    /// Per-line tags (`sets × ways`, set-major).
+    tags: Vec<u64>,
+    /// Per-line metadata bits (`VALID`, `NRU_REF`), parallel to `tags`.
+    meta: Vec<u8>,
+    /// Per-line payloads, parallel to `tags`.
+    data: Vec<Option<T>>,
+    /// Flat per-set recency stacks: way indices, MRU first. The stack of
+    /// set `s` occupies `recency[s*ways..][..set_live[s]]`. Maintained for
+    /// both policies (NRU victim search ignores it). Invariant: a set's
+    /// stack holds exactly its valid ways.
+    recency: Vec<u8>,
+    /// Valid-way count per set (== its recency-stack length).
+    set_live: Vec<u8>,
     policy: Replacement,
     /// Count of valid lines (kept so `len` needs no scan).
     live: usize,
@@ -111,15 +122,17 @@ impl<T> SetAssoc<T> {
             "sets must be a power of two"
         );
         assert!(ways > 0 && ways <= 255, "ways must be in 1..=255");
-        let mut lines = Vec::with_capacity(sets * ways);
-        for _ in 0..sets * ways {
-            lines.push(Line::empty());
-        }
+        let n = sets * ways;
+        let mut data = Vec::with_capacity(n);
+        data.resize_with(n, || None);
         SetAssoc {
             sets,
             ways,
-            lines,
-            recency: vec![Vec::with_capacity(ways); sets],
+            tags: vec![0; n],
+            meta: vec![0; n],
+            data,
+            recency: vec![0; n],
+            set_live: vec![0; sets],
             policy,
             live: 0,
         }
@@ -163,29 +176,26 @@ impl<T> SetAssoc<T> {
     }
 
     #[inline]
-    fn line(&self, set: usize, way: usize) -> &Line<T> {
-        &self.lines[set * self.ways + way]
-    }
-
-    #[inline]
-    fn line_mut(&mut self, set: usize, way: usize) -> &mut Line<T> {
-        &mut self.lines[set * self.ways + way]
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
     }
 
     fn find_way(&self, key: u64, pred: impl Fn(&T) -> bool) -> Option<usize> {
         let set = self.set_of(key);
         let tag = self.tag_of(key);
+        let base = set * self.ways;
         (0..self.ways).find(|&w| {
-            let l = self.line(set, w);
-            l.valid && l.tag == tag && l.data.as_ref().is_some_and(&pred)
+            let i = base + w;
+            self.meta[i] & VALID != 0
+                && self.tags[i] == tag
+                && self.data[i].as_ref().is_some_and(&pred)
         })
     }
 
     /// Looks up a line without updating recency.
     pub fn peek(&self, key: u64, pred: impl Fn(&T) -> bool) -> Option<&T> {
         self.find_way(key, pred).map(|w| {
-            self.line(self.set_of(key), w)
-                .data
+            self.data[self.idx(self.set_of(key), w)]
                 .as_ref()
                 .expect("valid line has data")
         })
@@ -195,16 +205,19 @@ impl<T> SetAssoc<T> {
     pub fn peek_mut(&mut self, key: u64, pred: impl Fn(&T) -> bool) -> Option<&mut T> {
         let set = self.set_of(key);
         self.find_way(key, pred).map(move |w| {
-            self.line_mut(set, w)
-                .data
-                .as_mut()
-                .expect("valid line has data")
+            let i = self.idx(set, w);
+            self.data[i].as_mut().expect("valid line has data")
         })
     }
 
     fn promote(&mut self, set: usize, way: usize) {
-        stack_promote(&mut self.recency[set], way as u8);
-        self.line_mut(set, way).nru_referenced = true;
+        let base = set * self.ways;
+        stack_promote(
+            &mut self.recency[base..base + self.ways],
+            &mut self.set_live[set],
+            way as u8,
+        );
+        self.meta[base + way] |= NRU_REF;
     }
 
     /// Looks up a line, updating its recency (LRU promotion / NRU bit).
@@ -213,12 +226,8 @@ impl<T> SetAssoc<T> {
         let set = self.set_of(key);
         let way = self.find_way(key, pred)?;
         self.promote(set, way);
-        Some(
-            self.line_mut(set, way)
-                .data
-                .as_mut()
-                .expect("valid line has data"),
-        )
+        let i = self.idx(set, way);
+        Some(self.data[i].as_mut().expect("valid line has data"))
     }
 
     /// Demotes a line to the LRU position of its set without invalidating it
@@ -228,8 +237,13 @@ impl<T> SetAssoc<T> {
         let Some(way) = self.find_way(key, pred) else {
             return false;
         };
-        stack_demote(&mut self.recency[set], way as u8);
-        self.line_mut(set, way).nru_referenced = false;
+        let base = set * self.ways;
+        stack_demote(
+            &mut self.recency[base..base + self.ways],
+            self.set_live[set],
+            way as u8,
+        );
+        self.meta[base + way] &= !NRU_REF;
         true
     }
 
@@ -237,16 +251,20 @@ impl<T> SetAssoc<T> {
     pub fn remove(&mut self, key: u64, pred: impl Fn(&T) -> bool) -> Option<T> {
         let set = self.set_of(key);
         let way = self.find_way(key, pred)?;
-        stack_remove(&mut self.recency[set], way as u8);
+        let base = set * self.ways;
+        stack_remove(
+            &mut self.recency[base..base + self.ways],
+            &mut self.set_live[set],
+            way as u8,
+        );
         self.live -= 1;
-        let line = self.line_mut(set, way);
-        line.valid = false;
-        line.nru_referenced = false;
-        line.data.take()
+        self.meta[base + way] = 0;
+        self.data[base + way].take()
     }
 
     fn pick_invalid_way(&self, set: usize) -> Option<usize> {
-        (0..self.ways).find(|&w| !self.line(set, w).valid)
+        let base = set * self.ways;
+        (0..self.ways).find(|&w| self.meta[base + w] & VALID == 0)
     }
 
     /// Chooses a victim way in `set`, preferring unprotected lines and
@@ -268,31 +286,31 @@ impl<T> SetAssoc<T> {
         protected: impl Fn(&T) -> bool,
         excluded: impl Fn(u64, &T) -> bool,
     ) -> Option<usize> {
+        let base = set * self.ways;
         let bar = |this: &Self, w: usize| {
-            let l = this.line(set, w);
             excluded(
-                this.key_of(set, l.tag),
-                l.data.as_ref().expect("valid line has data"),
+                this.key_of(set, this.tags[base + w]),
+                this.data[base + w].as_ref().expect("valid line has data"),
             )
         };
         match self.policy {
             Replacement::Lru => {
-                let stack = &self.recency[set];
-                debug_assert_eq!(stack.len(), self.ways, "full set has full stack");
-                for &w in stack.iter().rev() {
-                    let l = self.line(set, w as usize);
-                    if !protected(l.data.as_ref().expect("valid line has data"))
-                        && !bar(self, w as usize)
+                let live = self.set_live[set] as usize;
+                debug_assert_eq!(live, self.ways, "full set has full stack");
+                for i in (0..live).rev() {
+                    let w = self.recency[base + i] as usize;
+                    if !protected(self.data[base + w].as_ref().expect("valid line has data"))
+                        && !bar(self, w)
                     {
-                        return Some(w as usize);
+                        return Some(w);
                     }
                 }
                 // Everything unexcluded is protected: true LRU among the
                 // non-excluded lines.
-                let stack = &self.recency[set];
-                for &w in stack.iter().rev() {
-                    if !bar(self, w as usize) {
-                        return Some(w as usize);
+                for i in (0..live).rev() {
+                    let w = self.recency[base + i] as usize;
+                    if !bar(self, w) {
+                        return Some(w);
                     }
                 }
                 None
@@ -301,9 +319,10 @@ impl<T> SetAssoc<T> {
                 // Two passes: unprotected & not-referenced, then clear bits.
                 for pass in 0..2 {
                     for w in 0..self.ways {
-                        let l = self.line(set, w);
-                        if !l.nru_referenced
-                            && !protected(l.data.as_ref().expect("valid line has data"))
+                        if self.meta[base + w] & NRU_REF == 0
+                            && !protected(
+                                self.data[base + w].as_ref().expect("valid line has data"),
+                            )
                             && !bar(self, w)
                         {
                             return Some(w);
@@ -311,7 +330,7 @@ impl<T> SetAssoc<T> {
                     }
                     if pass == 0 {
                         for w in 0..self.ways {
-                            self.line_mut(set, w).nru_referenced = false;
+                            self.meta[base + w] &= !NRU_REF;
                         }
                     }
                 }
@@ -358,25 +377,28 @@ impl<T> SetAssoc<T> {
     ) -> Result<Option<(u64, T)>, T> {
         let set = self.set_of(key);
         let tag = self.tag_of(key);
+        let base = set * self.ways;
         let (way, evicted) = match self.pick_invalid_way(set) {
             Some(w) => (w, None),
             None => {
                 let Some(w) = self.pick_victim_way(set, protected, excluded) else {
                     return Err(data);
                 };
-                let victim_key = self.key_of(set, self.line(set, w).tag);
-                stack_remove(&mut self.recency[set], w as u8);
+                let victim_key = self.key_of(set, self.tags[base + w]);
+                stack_remove(
+                    &mut self.recency[base..base + self.ways],
+                    &mut self.set_live[set],
+                    w as u8,
+                );
                 self.live -= 1;
-                let line = self.line_mut(set, w);
-                line.valid = false;
-                let payload = line.data.take().expect("valid line has data");
+                self.meta[base + w] = 0;
+                let payload = self.data[base + w].take().expect("valid line has data");
                 (w, Some((victim_key, payload)))
             }
         };
-        let line = self.line_mut(set, way);
-        line.tag = tag;
-        line.valid = true;
-        line.data = Some(data);
+        self.tags[base + way] = tag;
+        self.meta[base + way] = VALID;
+        self.data[base + way] = Some(data);
         self.live += 1;
         self.promote(set, way);
         Ok(evicted)
@@ -392,10 +414,10 @@ impl<T> SetAssoc<T> {
         match self.pick_invalid_way(set) {
             Some(way) => {
                 let tag = self.tag_of(key);
-                let line = self.line_mut(set, way);
-                line.tag = tag;
-                line.valid = true;
-                line.data = Some(data);
+                let i = self.idx(set, way);
+                self.tags[i] = tag;
+                self.meta[i] = VALID;
+                self.data[i] = Some(data);
                 self.live += 1;
                 self.promote(set, way);
                 Ok(())
@@ -409,11 +431,11 @@ impl<T> SetAssoc<T> {
     pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> + '_ {
         (0..self.sets).flat_map(move |set| {
             (0..self.ways).filter_map(move |w| {
-                let l = self.line(set, w);
-                if l.valid {
+                let i = set * self.ways + w;
+                if self.meta[i] & VALID != 0 {
                     Some((
-                        self.key_of(set, l.tag),
-                        l.data.as_ref().expect("valid line has data"),
+                        self.key_of(set, self.tags[i]),
+                        self.data[i].as_ref().expect("valid line has data"),
                     ))
                 } else {
                     None
@@ -426,11 +448,13 @@ impl<T> SetAssoc<T> {
     /// `key`, in MRU→LRU order.
     pub fn iter_set(&self, key: u64) -> impl Iterator<Item = (u64, &T)> + '_ {
         let set = self.set_of(key);
-        self.recency[set].iter().map(move |&w| {
-            let l = self.line(set, w as usize);
+        let base = set * self.ways;
+        let live = self.set_live[set] as usize;
+        self.recency[base..base + live].iter().map(move |&w| {
+            let i = base + w as usize;
             (
-                self.key_of(set, l.tag),
-                l.data.as_ref().expect("stacked line is valid"),
+                self.key_of(set, self.tags[i]),
+                self.data[i].as_ref().expect("stacked line is valid"),
             )
         })
     }
@@ -439,7 +463,7 @@ impl<T> SetAssoc<T> {
     /// stack holds exactly the valid ways, so no scan is needed).
     #[inline]
     pub fn set_len(&self, key: u64) -> usize {
-        self.recency[self.set_of(key)].len()
+        self.set_live[self.set_of(key)] as usize
     }
 }
 
@@ -646,6 +670,29 @@ mod tests {
         c.touch(0, any);
         let order: Vec<u64> = c.iter_set(0).map(|(k, _)| k).collect();
         assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn promote_of_mru_way_short_circuits() {
+        // The hit-path no-op: promoting the way that is already MRU must
+        // leave the stack untouched (and, through the public API, keep the
+        // set order stable across repeated touches of the MRU line).
+        let mut stack = [2u8, 0, 1];
+        let mut len = 3u8;
+        stack_promote(&mut stack, &mut len, 2);
+        assert_eq!(stack, [2, 0, 1]);
+        assert_eq!(len, 3);
+
+        let mut c: SetAssoc<u32> = SetAssoc::new(1, 3, Replacement::Lru);
+        c.insert(0, 0, none);
+        c.insert(1, 1, none);
+        c.insert(2, 2, none); // MRU->LRU: 2,1,0
+        c.touch(2, any);
+        c.touch(2, any);
+        let order: Vec<u64> = c.iter_set(0).map(|(k, _)| k).collect();
+        assert_eq!(order, vec![2, 1, 0], "MRU touch changes nothing");
+        let v = c.insert(3, 3, none).unwrap();
+        assert_eq!(v, (0, 0), "LRU victim unaffected by MRU touches");
     }
 
     #[test]

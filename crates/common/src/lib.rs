@@ -15,6 +15,9 @@
 //!   simulation is exactly reproducible from a seed.
 //! * [`env`] — graceful environment-variable parsing (warn + default on
 //!   bad values) shared by every harness knob.
+//! * [`flatmap`] — a flat open-addressing `u64 → V` hash map (Fibonacci
+//!   hashing, backward-shift deletion) used on the protocol engine's hot
+//!   lookup paths instead of the SipHash-hardened std map.
 //! * [`table`] — plain-text table rendering for the figure harnesses.
 //! * [`protocol`] — the protocol vocabulary ([`protocol::Op`],
 //!   [`protocol::EvictKind`], invalidations/downgrades) and the pure
@@ -36,6 +39,7 @@
 
 pub mod config;
 pub mod env;
+pub mod flatmap;
 pub mod ids;
 pub mod mesi;
 pub mod msg;
@@ -45,6 +49,7 @@ pub mod stats;
 pub mod table;
 
 pub use config::SystemConfig;
+pub use flatmap::FlatMap;
 pub use ids::{Addr, BankId, BlockAddr, CoreId, Cycle, SocketId};
 pub use mesi::{DirState, MesiState};
 pub use msg::MsgClass;

@@ -8,10 +8,10 @@
 
 use crate::mgd::MultiGrainDir;
 use crate::secdir::SecDir;
-use std::collections::HashMap;
 use zerodev_cache::{Replacement, SetAssoc};
 use zerodev_common::config::{DirectoryKind, SecDirGeometry, SystemConfig};
 use zerodev_common::ids::SharerSet;
+use zerodev_common::FlatMap;
 use zerodev_common::{BlockAddr, CoreId, DirState};
 
 /// One coherence-directory entry: the state and location(s) of a block that
@@ -87,7 +87,7 @@ pub enum DirStore {
         replacement_disabled: bool,
     },
     /// Idealised unlimited-capacity directory.
-    Unbounded(HashMap<BlockAddr, DirEntry>),
+    Unbounded(FlatMap<DirEntry>),
     /// No dedicated structure (ZeroDEV "No Dir"): every allocation overflows.
     None,
     /// SecDir baseline.
@@ -112,7 +112,7 @@ impl DirStore {
                     replacement_disabled: *replacement_disabled,
                 }
             }
-            DirectoryKind::Unbounded => DirStore::Unbounded(HashMap::new()),
+            DirectoryKind::Unbounded => DirStore::Unbounded(FlatMap::new()),
             DirectoryKind::None => DirStore::None,
             DirectoryKind::SecDir(geom) => DirStore::SecDir(SecDir::new(*geom, cfg.cores)),
             DirectoryKind::MultiGrain { ratio, ways } => {
@@ -137,7 +137,7 @@ impl DirStore {
     pub fn peek(&self, block: BlockAddr) -> Option<DirEntry> {
         match self {
             DirStore::Sparse { array, .. } => array.peek(block.0, |_| true).copied(),
-            DirStore::Unbounded(map) => map.get(&block).copied(),
+            DirStore::Unbounded(map) => map.get(block.0).copied(),
             DirStore::None => None,
             DirStore::SecDir(sd) => sd.peek(block),
             DirStore::MultiGrain(mgd) => mgd.peek(block),
@@ -148,7 +148,7 @@ impl DirStore {
     pub fn lookup(&mut self, block: BlockAddr) -> Option<DirEntry> {
         match self {
             DirStore::Sparse { array, .. } => array.touch(block.0, |_| true).map(|e| *e),
-            DirStore::Unbounded(map) => map.get(&block).copied(),
+            DirStore::Unbounded(map) => map.get(block.0).copied(),
             DirStore::None => None,
             DirStore::SecDir(sd) => sd.lookup(block),
             DirStore::MultiGrain(mgd) => mgd.lookup(block),
@@ -179,7 +179,7 @@ impl DirStore {
                 Vec::new()
             }
             DirStore::Unbounded(map) => {
-                let e = map.get_mut(&block).expect("updated entry present");
+                let e = map.get_mut(block.0).expect("updated entry present");
                 *e = entry;
                 Vec::new()
             }
@@ -193,7 +193,7 @@ impl DirStore {
     pub fn remove(&mut self, block: BlockAddr) -> Option<DirEntry> {
         match self {
             DirStore::Sparse { array, .. } => array.remove(block.0, |_| true),
-            DirStore::Unbounded(map) => map.remove(&block),
+            DirStore::Unbounded(map) => map.remove(block.0),
             DirStore::None => None,
             DirStore::SecDir(sd) => sd.remove(block),
             DirStore::MultiGrain(mgd) => mgd.remove(block),
@@ -223,7 +223,7 @@ impl DirStore {
                 }
             }
             DirStore::Unbounded(map) => {
-                map.insert(block, entry);
+                map.insert(block.0, entry);
                 AllocOutcome::Stored
             }
             DirStore::None => AllocOutcome::Overflow,
@@ -352,7 +352,7 @@ mod tests {
 
     #[test]
     fn unbounded_never_evicts() {
-        let mut d = DirStore::Unbounded(HashMap::new());
+        let mut d = DirStore::Unbounded(FlatMap::new());
         for i in 0..10_000u64 {
             assert_eq!(
                 d.allocate(BlockAddr(i), DirEntry::shared(CoreId(0))),

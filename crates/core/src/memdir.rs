@@ -14,11 +14,10 @@
 
 use crate::compress::SegmentFormatExt;
 use crate::directory::DirEntry;
-use std::collections::HashMap;
 use zerodev_cache::{Replacement, SetAssoc};
 use zerodev_common::config::{SegmentFormat, SocketDirBacking, SystemConfig};
 use zerodev_common::ids::SocketSet;
-use zerodev_common::{BlockAddr, Cycle, SocketId};
+use zerodev_common::{BlockAddr, Cycle, FlatMap, SocketId};
 use zerodev_dram::DramModel;
 
 /// A corrupted home-memory block: per-socket segments holding evicted
@@ -109,12 +108,12 @@ const SOCKET_DIR_CACHE_WAYS: usize = 8;
 #[derive(Clone, Debug)]
 pub struct MemorySide {
     drams: Vec<DramModel>,
-    corrupted: HashMap<BlockAddr, CorruptedBlock>,
+    corrupted: FlatMap<CorruptedBlock>,
     /// Per home socket: the bounded socket-directory cache.
     dir_caches: Vec<SetAssoc<SocketDirEntry>>,
     /// Per home socket: the complete backing store (memory or DirEvict
     /// partitions — semantically identical at this level).
-    dir_backing: Vec<HashMap<BlockAddr, SocketDirEntry>>,
+    dir_backing: Vec<FlatMap<SocketDirEntry>>,
     backing: SocketDirBacking,
     sockets: usize,
     cores: usize,
@@ -130,7 +129,7 @@ impl MemorySide {
     pub fn new(cfg: &SystemConfig) -> Self {
         MemorySide {
             drams: (0..cfg.sockets).map(|_| DramModel::new(cfg.dram)).collect(),
-            corrupted: HashMap::new(),
+            corrupted: FlatMap::new(),
             // Single-socket machines never consult the socket directory, so
             // they carry a token 1-set cache: cloning a machine snapshot (the
             // model checker does this per explored state) must not pay for
@@ -145,7 +144,7 @@ impl MemorySide {
                     SetAssoc::new(sets, SOCKET_DIR_CACHE_WAYS, Replacement::Lru)
                 })
                 .collect(),
-            dir_backing: (0..cfg.sockets).map(|_| HashMap::new()).collect(),
+            dir_backing: (0..cfg.sockets).map(|_| FlatMap::new()).collect(),
             backing: cfg.socket_dir,
             sockets: cfg.sockets,
             cores: cfg.cores,
@@ -180,12 +179,12 @@ impl MemorySide {
     /// True when the home-memory copy of `block` is corrupted (houses at
     /// least one evicted directory entry, so its data bits are invalid).
     pub fn is_corrupted(&self, block: BlockAddr) -> bool {
-        self.corrupted.contains_key(&block)
+        self.corrupted.contains_key(block.0)
     }
 
     /// The corrupted-block record, if any.
     pub fn corrupted_block(&self, block: BlockAddr) -> Option<&CorruptedBlock> {
-        self.corrupted.get(&block)
+        self.corrupted.get(block.0)
     }
 
     /// Houses `entry` in `socket`'s segment of the home block. Returns true
@@ -199,7 +198,7 @@ impl MemorySide {
             .seg_format
             .encode(&entry, self.cores)
             .decode(self.cores);
-        let cb = self.corrupted.entry(block).or_default();
+        let cb = self.corrupted.get_or_default(block.0);
         let others = cb.sockets().iter().any(|s| s != socket);
         cb.set_segment(socket, stored);
         others
@@ -210,12 +209,12 @@ impl MemorySide {
     /// (its data bits remain invalid) even when no segments remain, until a
     /// full-block writeback restores it.
     pub fn extract_entry(&mut self, block: BlockAddr, socket: SocketId) -> Option<DirEntry> {
-        self.corrupted.get_mut(&block)?.take_segment(socket)
+        self.corrupted.get_mut(block.0)?.take_segment(socket)
     }
 
     /// Reads `socket`'s segment without removing it (GET_DE read phase).
     pub fn peek_entry(&self, block: BlockAddr, socket: SocketId) -> Option<DirEntry> {
-        self.corrupted.get(&block)?.segment(socket)
+        self.corrupted.get(block.0)?.segment(socket)
     }
 
     /// Overwrites `socket`'s segment in place (GET_DE write-back phase).
@@ -224,7 +223,7 @@ impl MemorySide {
     /// Panics if the block is not corrupted.
     pub fn rewrite_entry(&mut self, block: BlockAddr, socket: SocketId, entry: DirEntry) {
         self.corrupted
-            .get_mut(&block)
+            .get_mut(block.0)
             .expect("rewrite requires corrupted block")
             .set_segment(socket, entry);
     }
@@ -232,7 +231,7 @@ impl MemorySide {
     /// Restores the block to clean data (a full-block writeback arrived),
     /// dropping every housed segment.
     pub fn restore(&mut self, block: BlockAddr) {
-        self.corrupted.remove(&block);
+        self.corrupted.remove(block.0);
     }
 
     /// Number of currently corrupted home blocks (diagnostics).
@@ -243,7 +242,7 @@ impl MemorySide {
     /// Iterates every corrupted home block and its record (diagnostics; the
     /// audit oracle's full sweep walks this to check segment bookkeeping).
     pub fn corrupted_blocks(&self) -> impl Iterator<Item = (BlockAddr, &CorruptedBlock)> {
-        self.corrupted.iter().map(|(b, cb)| (*b, cb))
+        self.corrupted.iter().map(|(b, cb)| (BlockAddr(b), cb))
     }
 
     // ---- socket-level directory ------------------------------------------
@@ -265,7 +264,7 @@ impl MemorySide {
                 cached: true,
             };
         }
-        let backed = self.dir_backing[h].get(&block).copied();
+        let backed = self.dir_backing[h].get(block.0).copied();
         if let Some(e) = backed {
             self.dir_cache_misses += 1;
             // Refill the cache; evicted victims stay in the backing store.
@@ -291,7 +290,7 @@ impl MemorySide {
         if self.sockets == 1 {
             return None;
         }
-        self.dir_backing[home.0 as usize].get(&block).copied()
+        self.dir_backing[home.0 as usize].get(block.0).copied()
     }
 
     /// Installs or updates the socket-level entry for `block`.
@@ -300,7 +299,7 @@ impl MemorySide {
             return;
         }
         let h = home.0 as usize;
-        self.dir_backing[h].insert(block, entry);
+        self.dir_backing[h].insert(block.0, entry);
         if let Some(e) = self.dir_caches[h].peek_mut(block.0, |_| true) {
             *e = entry;
         } else {
@@ -314,7 +313,7 @@ impl MemorySide {
             return;
         }
         let h = home.0 as usize;
-        self.dir_backing[h].remove(&block);
+        self.dir_backing[h].remove(block.0);
         let _ = self.dir_caches[h].remove(block.0, |_| true);
     }
 

@@ -11,10 +11,10 @@
 //! points out).
 
 use crate::directory::{AllocOutcome, DirEntry, EvictedEntry};
-use std::collections::HashMap;
 use zerodev_cache::{Replacement, SetAssoc};
 use zerodev_common::config::SecDirGeometry;
 use zerodev_common::ids::SharerSet;
+use zerodev_common::FlatMap;
 use zerodev_common::{BlockAddr, CoreId, DirState};
 
 /// A private-partition entry: tracks that the partition's core caches the
@@ -39,7 +39,7 @@ pub struct SecDir {
     private: Vec<SetAssoc<PrivEntry>>,
     /// Fast residency index (performance only; the arrays are authoritative
     /// for conflicts).
-    index: HashMap<BlockAddr, Residency>,
+    index: FlatMap<Residency>,
     /// Private-partition evictions observed (self-conflict DEV events).
     pub private_evictions: u64,
     /// Shared-partition evictions observed (migrations).
@@ -65,7 +65,7 @@ impl SecDir {
             private: (0..cores)
                 .map(|_| SetAssoc::new(private_sets, geom.private_ways, Replacement::Nru))
                 .collect(),
-            index: HashMap::new(),
+            index: FlatMap::new(),
             private_evictions: 0,
             migrations: 0,
         }
@@ -96,7 +96,7 @@ impl SecDir {
 
     /// Looks up without touching replacement state.
     pub fn peek(&self, block: BlockAddr) -> Option<DirEntry> {
-        match self.index.get(&block)? {
+        match self.index.get(block.0)? {
             Residency::Shared => self.shared.peek(block.0, |_| true).copied(),
             Residency::Private => self.merged_private_view(block),
         }
@@ -104,7 +104,7 @@ impl SecDir {
 
     /// Looks up and promotes.
     pub fn lookup(&mut self, block: BlockAddr) -> Option<DirEntry> {
-        match self.index.get(&block)? {
+        match self.index.get(block.0)? {
             Residency::Shared => self.shared.touch(block.0, |_| true).map(|e| *e),
             Residency::Private => {
                 let view = self.merged_private_view(block);
@@ -122,7 +122,7 @@ impl SecDir {
     /// sharers, collecting any private-partition victims as evicted entries.
     fn migrate(&mut self, block: BlockAddr, entry: DirEntry, victims: &mut Vec<EvictedEntry>) {
         self.migrations += 1;
-        self.index.insert(block, Residency::Private);
+        self.index.insert(block.0, Residency::Private);
         let owned = entry.state.is_owned();
         for core in entry.sharers.iter() {
             let part = &mut self.private[core.0 as usize];
@@ -143,14 +143,14 @@ impl SecDir {
                 ));
                 // If that was the block's last private trace, drop the index.
                 if self.merged_private_view(vblock).is_none() {
-                    self.index.remove(&vblock);
+                    self.index.remove(vblock.0);
                 }
             }
         }
         // All sharers may have failed to land (victim chains); if nothing
         // landed the block is untracked now.
         if self.merged_private_view(block).is_none() {
-            self.index.remove(&block);
+            self.index.remove(block.0);
         }
     }
 
@@ -158,10 +158,10 @@ impl SecDir {
     pub fn allocate(&mut self, block: BlockAddr, entry: DirEntry) -> AllocOutcome {
         debug_assert!(self.peek(block).is_none(), "allocate over live entry");
         let mut victims = Vec::new();
-        self.index.insert(block, Residency::Shared);
+        self.index.insert(block.0, Residency::Shared);
         if let Some((vkey, ventry)) = self.shared.insert(block.0, entry, |_| false) {
             let vblock = BlockAddr(vkey);
-            self.index.remove(&vblock);
+            self.index.remove(vblock.0);
             self.migrate(vblock, ventry, &mut victims);
         }
         if victims.is_empty() {
@@ -179,7 +179,7 @@ impl SecDir {
     /// a shared victim and trigger migrations.
     pub fn update(&mut self, block: BlockAddr, entry: DirEntry) -> Vec<EvictedEntry> {
         let mut victims = Vec::new();
-        match self.index.get(&block).copied() {
+        match self.index.get(block.0).copied() {
             Some(Residency::Shared) => {
                 let e = self
                     .shared
@@ -195,7 +195,7 @@ impl SecDir {
                     for part in &mut self.private {
                         let _ = part.remove(block.0, |_| true);
                     }
-                    self.index.remove(&block);
+                    self.index.remove(block.0);
                     match self.allocate(block, entry) {
                         AllocOutcome::Evicted(mut v) => victims.append(&mut v),
                         AllocOutcome::Stored => {}
@@ -215,7 +215,7 @@ impl SecDir {
                         }
                     }
                     if self.merged_private_view(block).is_none() {
-                        self.index.remove(&block);
+                        self.index.remove(block.0);
                     }
                 }
             }
@@ -226,7 +226,7 @@ impl SecDir {
 
     /// Removes every trace of `block`.
     pub fn remove(&mut self, block: BlockAddr) -> Option<DirEntry> {
-        match self.index.remove(&block)? {
+        match self.index.remove(block.0)? {
             Residency::Shared => self.shared.remove(block.0, |_| true),
             Residency::Private => {
                 let view = self.merged_private_view(block);

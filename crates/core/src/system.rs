@@ -960,6 +960,41 @@ impl System {
         block: BlockAddr,
         op: Op,
     ) -> AccessResult {
+        let mut invalidations = Vec::new();
+        let mut downgrades = Vec::new();
+        let (latency, grant) = self.access_into(
+            now,
+            socket,
+            core,
+            block,
+            op,
+            &mut invalidations,
+            &mut downgrades,
+        );
+        AccessResult {
+            latency,
+            grant,
+            invalidations,
+            downgrades,
+        }
+    }
+
+    /// Allocation-free form of [`Self::access`]: appends this transaction's
+    /// invalidations and downgrades to caller-owned buffers (the sim engine
+    /// reuses one pair of buffers across every reference) and returns
+    /// `(latency, grant)`. The oracle hook sees exactly the entries this
+    /// call appended.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access_into(
+        &mut self,
+        now: Cycle,
+        socket: SocketId,
+        core: CoreId,
+        block: BlockAddr,
+        op: Op,
+        invals: &mut Vec<Invalidation>,
+        downgrades: &mut Vec<Downgrade>,
+    ) -> (u64, MesiState) {
         let s = socket.0 as usize;
         let bank = self.bank_of(block);
         if let Some(o) = self.oracle.as_mut() {
@@ -982,8 +1017,8 @@ impl System {
         self.stats.llc_tag_lookups += 1;
         self.stats.dir_lookups += 1;
 
-        let mut invals = Vec::new();
-        let mut downgrades = Vec::new();
+        let inv_start = invals.len();
+        let dg_start = downgrades.len();
         let found = self.find_entry(s, block);
         let grant;
 
@@ -995,7 +1030,7 @@ impl System {
                 let (entry, loc) = match found {
                     Some((e, l)) => (e, Some(l)),
                     None => self
-                        .recover_housed_entry(&mut t, s, now, block, &mut invals)
+                        .recover_housed_entry(&mut t, s, now, block, invals)
                         .expect("upgrade requires a tracked block"),
                 };
                 debug_assert!(entry.sharers.contains(core), "upgrader holds an S copy");
@@ -1014,7 +1049,7 @@ impl System {
                     &entry,
                     Some(core),
                     InvalReason::Coherence,
-                    &mut invals,
+                    invals,
                 );
                 // Dataless response with the expected-ack count.
                 let resp = self.sockets[s].topo.bank_core_latency(
@@ -1027,9 +1062,9 @@ impl System {
                 let new_entry = DirEntry::owned(core);
                 self.epd_on_private_transition(now, s, block);
                 let _ = loc;
-                self.write_entry_anywhere(now, s, block, new_entry, &mut invals);
+                self.write_entry_anywhere(now, s, block, new_entry, invals);
                 // Remote sockets sharing the block must be invalidated too.
-                t += self.socket_level_invalidate(now, s, block, &mut invals);
+                t += self.socket_level_invalidate(now, s, block, invals);
                 grant = MesiState::Modified;
             }
             Op::Read | Op::CodeRead => {
@@ -1053,14 +1088,14 @@ impl System {
                         // Sharing writeback lands the block in the LLC (EPD
                         // allocates shared blocks; the caller marks it dirty
                         // if the owner was in M).
-                        self.fill_llc(now, s, block, false, &mut invals);
+                        self.fill_llc(now, s, block, false, invals);
                         let mut e = entry;
                         e.state = DirState::Shared;
                         e.sharers.insert(core);
                         // Re-locate: the fill may have moved or even
                         // evicted the entry (WB_DE) within this transaction.
                         let _ = loc;
-                        self.write_entry_anywhere(now, s, block, e, &mut invals);
+                        self.write_entry_anywhere(now, s, block, e, invals);
                         grant = MesiState::Shared;
                     }
                     Some((entry, loc)) => {
@@ -1121,20 +1156,12 @@ impl System {
                         }
                         let mut e = entry;
                         e.sharers.insert(core);
-                        self.update_entry(now, s, block, e, loc, &mut invals);
+                        self.update_entry(now, s, block, e, loc, invals);
                         grant = MesiState::Shared;
                     }
                     None => {
-                        grant = self.untracked_read(
-                            now,
-                            &mut t,
-                            s,
-                            core,
-                            block,
-                            code,
-                            &mut invals,
-                            &mut downgrades,
-                        );
+                        grant = self
+                            .untracked_read(now, &mut t, s, core, block, code, invals, downgrades);
                     }
                 }
             }
@@ -1161,7 +1188,7 @@ impl System {
                         let new_entry = DirEntry::owned(core);
                         self.epd_on_private_transition(now, s, block);
                         let _ = loc;
-                        self.write_entry_anywhere(now, s, block, new_entry, &mut invals);
+                        self.write_entry_anywhere(now, s, block, new_entry, invals);
                         grant = MesiState::Modified;
                     }
                     Some((entry, loc)) => {
@@ -1182,7 +1209,7 @@ impl System {
                             &entry,
                             Some(core),
                             InvalReason::Coherence,
-                            &mut invals,
+                            invals,
                         );
                         let data_path = if has_data {
                             self.stats.llc_data_accesses += 1;
@@ -1207,20 +1234,12 @@ impl System {
                         let new_entry = DirEntry::owned(core);
                         self.epd_on_private_transition(now, s, block);
                         let _ = loc;
-                        self.write_entry_anywhere(now, s, block, new_entry, &mut invals);
-                        t += self.socket_level_invalidate(now, s, block, &mut invals);
+                        self.write_entry_anywhere(now, s, block, new_entry, invals);
+                        t += self.socket_level_invalidate(now, s, block, invals);
                         grant = MesiState::Modified;
                     }
                     None => {
-                        grant = self.untracked_rfo(
-                            now,
-                            &mut t,
-                            s,
-                            core,
-                            block,
-                            &mut invals,
-                            &mut downgrades,
-                        );
+                        grant = self.untracked_rfo(now, &mut t, s, core, block, invals, downgrades);
                     }
                 }
             }
@@ -1229,16 +1248,20 @@ impl System {
         if self.oracle.is_some() {
             // Take/put-back so the oracle can read the whole system state.
             let mut o = self.oracle.take().expect("checked above");
-            o.after_access(self, socket, core, block, op, grant, &invals, &downgrades);
+            o.after_access(
+                self,
+                socket,
+                core,
+                block,
+                op,
+                grant,
+                &invals[inv_start..],
+                &downgrades[dg_start..],
+            );
             self.oracle = Some(o);
         }
 
-        AccessResult {
-            latency: t.since(now),
-            grant,
-            invalidations: invals,
-            downgrades,
-        }
+        (t.since(now), grant)
     }
 
     /// Re-finds the location of a live entry after LLC churn.

@@ -730,8 +730,9 @@ impl System {
             return 0;
         };
         let me = SocketId(s as u8);
-        let others: Vec<SocketId> = e.sharers.iter().filter(|&x| x != me).collect();
-        if others.is_empty() {
+        // `e` is a copied entry, so the sharer set can be walked directly —
+        // no scratch list of "other" sockets is materialised.
+        if !e.sharers.iter().any(|x| x != me) {
             if e.owner() != Some(me) {
                 self.mem
                     .socket_dir_update(home, block, SocketDirEntry::owned_by(me));
@@ -744,7 +745,7 @@ impl System {
             self.cfg.inter_socket_cycles
         };
         self.stats.msg(MsgClass::SocketCtrl);
-        for other in others {
+        for other in e.sharers.iter().filter(|&x| x != me) {
             self.stats.msg(MsgClass::SocketCtrl); // invalidation
             self.stats.msg(MsgClass::SocketCtrl); // acknowledgement
             self.invalidate_socket_copies(now, other.0 as usize, block, invals);
@@ -771,9 +772,27 @@ impl System {
         block: BlockAddr,
         kind: EvictKind,
     ) -> Vec<Invalidation> {
+        let mut invals = Vec::new();
+        self.evict_into(now, socket, core, block, kind, &mut invals);
+        invals
+    }
+
+    /// Allocation-free form of [`Self::evict`]: any back-invalidations are
+    /// appended to the caller-owned buffer (the sim engine reuses one buffer
+    /// across every eviction). The oracle hook sees exactly the entries this
+    /// call appended.
+    pub fn evict_into(
+        &mut self,
+        now: Cycle,
+        socket: SocketId,
+        core: CoreId,
+        block: BlockAddr,
+        kind: EvictKind,
+        invals: &mut Vec<Invalidation>,
+    ) {
         let s = socket.0 as usize;
         let bank = self.bank_of(block);
-        let mut invals = Vec::new();
+        let inv_start = invals.len();
         // The notice payload follows the message class that will be sent:
         // dirty writebacks and EPD clean-exclusive victim transfers carry
         // the data block (§III-E); every other notice is control-sized.
@@ -826,9 +845,9 @@ impl System {
                 if kind == EvictKind::Dirty {
                     // The writeback allocates/updates the LLC line (this is
                     // also EPD's allocation-on-owner-eviction rule).
-                    self.fill_llc(now, s, block, true, &mut invals);
+                    self.fill_llc(now, s, block, true, invals);
                 } else if epd_victim_transfer {
-                    self.fill_llc(now, s, block, false, &mut invals);
+                    self.fill_llc(now, s, block, false, invals);
                 }
                 let mut e = entry;
                 e.sharers.remove(core);
@@ -849,13 +868,13 @@ impl System {
                             }
                             self.departure_check(now, s, block);
                         } else {
-                            self.update_entry(now, s, block, e, cur_loc, &mut invals);
+                            self.update_entry(now, s, block, e, cur_loc, invals);
                         }
                     }
                     None => {
                         // The dirty-writeback fill above pushed this block's
                         // own entry home (WB_DE); conclude via Figure 16.
-                        self.evict_with_entry_at_home(now, s, core, block, kind, &mut invals);
+                        self.evict_with_entry_at_home(now, s, core, block, kind, invals);
                     }
                 }
             }
@@ -877,15 +896,14 @@ impl System {
                     // later untracked read would hit the stale line.
                     let _ = self.sockets[s].banks[bank].remove_block(block);
                 }
-                self.evict_with_entry_at_home(now, s, core, block, kind, &mut invals);
+                self.evict_with_entry_at_home(now, s, core, block, kind, invals);
             }
         }
         if self.oracle.is_some() {
             let mut o = self.oracle.take().expect("checked above");
-            o.after_evict(self, socket, core, block, kind, &invals);
+            o.after_evict(self, socket, core, block, kind, &invals[inv_start..]);
             self.oracle = Some(o);
         }
-        invals
     }
 
     /// Figure 16: the eviction could not find the sparse directory entry
@@ -1020,17 +1038,30 @@ impl System {
     /// freqmine's behaviour, §I-A1). Returns back-invalidations caused by
     /// the fill.
     pub fn dev_dirty_recall(&mut self, now: Cycle, socket: SocketId, block: BlockAddr) -> Vec<Invalidation> {
+        let mut invals = Vec::new();
+        self.dev_dirty_recall_into(now, socket, block, &mut invals);
+        invals
+    }
+
+    /// Allocation-free form of [`Self::dev_dirty_recall`]: back-invalidations
+    /// caused by the fill are appended to the caller-owned buffer.
+    pub fn dev_dirty_recall_into(
+        &mut self,
+        now: Cycle,
+        socket: SocketId,
+        block: BlockAddr,
+        invals: &mut Vec<Invalidation>,
+    ) {
         let s = socket.0 as usize;
         self.stats.dev_dirty_recalls += 1;
         self.stats.msg(MsgClass::Writeback);
-        let mut invals = Vec::new();
-        self.fill_llc(now, s, block, true, &mut invals);
+        let inv_start = invals.len();
+        self.fill_llc(now, s, block, true, invals);
         if self.oracle.is_some() {
             let mut o = self.oracle.take().expect("checked above");
-            o.after_dev_recall(self, socket, block, &invals);
+            o.after_dev_recall(self, socket, block, &invals[inv_start..]);
             self.oracle = Some(o);
         }
-        invals
     }
 
     /// An inclusion-invalidated owner held the block in M: the dirty data

@@ -82,10 +82,20 @@ impl CoreModel {
     /// Processes one memory reference at time `now`, driving the uncore on
     /// misses and upgrades. Returns the effects for the engine to apply.
     pub fn access(&mut self, sys: &mut System, now: Cycle, r: MemRef) -> AccessEffects {
-        let mut fx = AccessEffects {
-            latency: self.l1_hit,
-            ..Default::default()
-        };
+        let mut fx = AccessEffects::default();
+        self.access_into(sys, now, r, &mut fx);
+        fx
+    }
+
+    /// Allocation-free form of [`Self::access`]: resets and refills the
+    /// caller-owned effects buffer. The engine reuses one buffer across
+    /// every reference, so the invalidation/downgrade vectors stop churning
+    /// the allocator on the hot path.
+    pub fn access_into(&mut self, sys: &mut System, now: Cycle, r: MemRef, fx: &mut AccessEffects) {
+        fx.latency = self.l1_hit;
+        fx.uncore_latency = 0;
+        fx.invalidations.clear();
+        fx.downgrades.clear();
         let key = r.block.0;
         let l1 = if r.code { &mut self.l1i } else { &mut self.l1d };
         let l1_hit = l1.touch(key, |_| true).is_some();
@@ -112,14 +122,20 @@ impl CoreModel {
                 } else {
                     Op::Read
                 };
-                let res = sys.access(now, self.socket, self.core, r.block, op);
-                fx.uncore_latency += res.latency;
-                fx.invalidations.extend(res.invalidations);
-                fx.downgrades.extend(res.downgrades);
-                self.fill_l2(sys, now, r.block, res.grant, &mut fx);
+                let (lat, grant) = sys.access_into(
+                    now,
+                    self.socket,
+                    self.core,
+                    r.block,
+                    op,
+                    &mut fx.invalidations,
+                    &mut fx.downgrades,
+                );
+                fx.uncore_latency += lat;
+                self.fill_l2(sys, now, r.block, grant, fx);
                 let l1 = if r.code { &mut self.l1i } else { &mut self.l1d };
                 let _ = l1.insert(key, (), |_| false);
-                l2_state = res.grant;
+                l2_state = grant;
             }
         }
         // Stores need ownership at the coherence point.
@@ -131,10 +147,16 @@ impl CoreModel {
                     self.set_state(r.block, MesiState::Modified);
                 }
                 MesiState::Shared => {
-                    let res = sys.access(now, self.socket, self.core, r.block, Op::Upgrade);
-                    fx.uncore_latency += res.latency;
-                    fx.invalidations.extend(res.invalidations);
-                    fx.downgrades.extend(res.downgrades);
+                    let (lat, _) = sys.access_into(
+                        now,
+                        self.socket,
+                        self.core,
+                        r.block,
+                        Op::Upgrade,
+                        &mut fx.invalidations,
+                        &mut fx.downgrades,
+                    );
+                    fx.uncore_latency += lat;
                     self.set_state(r.block, MesiState::Modified);
                 }
                 MesiState::Invalid => {
@@ -142,7 +164,6 @@ impl CoreModel {
                 }
             }
         }
-        fx
     }
 
     fn set_state(&mut self, block: BlockAddr, state: MesiState) {
@@ -174,8 +195,14 @@ impl CoreModel {
                 MesiState::Shared => EvictKind::CleanShared,
                 MesiState::Invalid => unreachable!("valid lines only in L2"),
             };
-            let invals = sys.evict(now, self.socket, self.core, vblock, kind);
-            fx.invalidations.extend(invals);
+            sys.evict_into(
+                now,
+                self.socket,
+                self.core,
+                vblock,
+                kind,
+                &mut fx.invalidations,
+            );
         }
     }
 

@@ -3,8 +3,6 @@
 
 use crate::core_model::{AccessEffects, CoreModel};
 use crate::faults::{FaultConfig, FaultPlan, FaultStats};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use zerodev_common::{CoreId, Cycle, MesiState, MsgClass, SocketId, Stats, SystemConfig};
 use zerodev_core::{InvalReason, System};
 use zerodev_workloads::{Workload, WorkloadKind};
@@ -18,6 +16,73 @@ const WATCHDOG_HORIZON: u64 = 1_000_000;
 /// References between watchdog scans of the per-core heartbeats (keeps the
 /// check O(1) amortised per reference).
 const WATCHDOG_PERIOD: u64 = 4_096;
+
+/// Packs an event as `(time << 32) | core` so that plain integer order is
+/// exactly lexicographic `(time, core)` order. `u128` keys keep the packing
+/// exact for any 64-bit timestamp.
+#[inline]
+fn event_key(time: u64, core: usize) -> u128 {
+    ((time as u128) << 32) | core as u128
+}
+
+/// A flat binary min-heap of packed `(time, core)` event keys.
+///
+/// The event loop's steady state is pop-min immediately followed by a push
+/// of the same core's next event; [`Self::replace_min`] fuses the pair into
+/// a single sift-down, halving the heap traffic of the former
+/// `BinaryHeap` pop/push sequence. Keys compare exactly like `(time, core)`
+/// tuples, so the schedule — and therefore every statistic — is unchanged.
+#[derive(Debug)]
+struct EventQueue {
+    keys: Vec<u128>,
+}
+
+impl EventQueue {
+    /// One event per core, start times staggered by one cycle. The sequence
+    /// `(0,0), (1,1), …` is already heap-ordered, so no heapify is needed.
+    fn new(cores: usize) -> Self {
+        assert!(cores < (1 << 32), "core index must pack into 32 bits");
+        EventQueue {
+            keys: (0..cores).map(|t| event_key(t as u64, t)).collect(),
+        }
+    }
+
+    /// The earliest pending `(time, core)` event.
+    #[inline]
+    fn peek_min(&self) -> (u64, usize) {
+        let k = self.keys[0];
+        ((k >> 32) as u64, (k & 0xffff_ffff) as usize)
+    }
+
+    /// Replaces the minimum event and restores the heap property.
+    #[inline]
+    fn replace_min(&mut self, time: u64, core: usize) {
+        self.keys[0] = event_key(time, core);
+        self.sift_down();
+    }
+
+    fn sift_down(&mut self) {
+        let n = self.keys.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                return;
+            }
+            let r = l + 1;
+            let c = if r < n && self.keys[r] < self.keys[l] {
+                r
+            } else {
+                l
+            };
+            if self.keys[i] <= self.keys[c] {
+                return;
+            }
+            self.keys.swap(i, c);
+            i = c;
+        }
+    }
+}
 
 /// A structured forward-progress failure, surfaced instead of an infinite
 /// loop (livelock) or an unexplained panic.
@@ -68,6 +133,11 @@ pub struct SimResult {
     pub core_instrs: Vec<u64>,
     /// Completion time of the slowest core (multi-threaded metric).
     pub completion_cycles: u64,
+    /// References retired in the measured region across all cores (early
+    /// finishers keep retiring until the last core hits its target, so this
+    /// can exceed `refs_per_core × cores`). Feeds the bench harness's
+    /// references-per-second throughput metric.
+    pub refs_retired: u64,
     /// DRAM (reads, writes) observed.
     pub dram_rw: (u64, u64),
     /// What the fault plan injected (empty unless faults were configured).
@@ -185,23 +255,31 @@ impl Simulation {
     /// dirty data back to the protocol (which may cascade). Returns the
     /// core-visible latency: private latency plus the uncore latency
     /// de-rated by the workload's memory-level parallelism.
-    fn apply_effects(&mut self, now: Cycle, mut fx: AccessEffects, mlp: f64) -> u64 {
+    ///
+    /// Drains the effect buffer in place so the engine can reuse one
+    /// allocation across every reference: invalidations are consumed LIFO
+    /// off the tail while cascading recalls append to the same vector —
+    /// exactly the order the former take-and-extend version processed.
+    fn apply_effects(&mut self, now: Cycle, fx: &mut AccessEffects, mlp: f64) -> u64 {
         let latency = fx.latency + (fx.uncore_latency as f64 / mlp.max(1.0)).round() as u64;
-        let mut pending_inv = std::mem::take(&mut fx.invalidations);
-        for d in fx.downgrades {
+        for d in fx.downgrades.drain(..) {
             let idx = self.core_index(d.socket, d.core);
             if self.cores[idx].apply_downgrade(d.block) {
                 self.sys.sharing_writeback(now, d.socket, d.block);
             }
         }
-        while let Some(inv) = pending_inv.pop() {
+        while let Some(inv) = fx.invalidations.pop() {
             let idx = self.core_index(inv.socket, inv.core);
             let state = self.cores[idx].apply_invalidation(inv.block);
             if state == MesiState::Modified {
                 match inv.reason {
                     InvalReason::Dev => {
-                        let more = self.sys.dev_dirty_recall(now, inv.socket, inv.block);
-                        pending_inv.extend(more);
+                        self.sys.dev_dirty_recall_into(
+                            now,
+                            inv.socket,
+                            inv.block,
+                            &mut fx.invalidations,
+                        );
                     }
                     InvalReason::Inclusion => {
                         self.sys
@@ -321,6 +399,9 @@ impl Simulation {
     /// results are byte-identical.
     pub fn try_run(mut self, refs_per_core: u64, warmup_refs: u64) -> Result<SimResult, SimError> {
         let n = self.cores.len();
+        // One effects buffer for the whole run: `access_into` clears and
+        // refills it, `apply_effects` drains it.
+        let mut fx = AccessEffects::default();
         // Warm-up: interleave round-robin without timing.
         for _ in 0..warmup_refs {
             for t in 0..n {
@@ -328,8 +409,8 @@ impl Simulation {
                 let (socket, core) = (self.cores[t].socket(), self.cores[t].core());
                 let _ = (socket, core);
                 let mlp = self.workload.threads[t].spec().mlp;
-                let fx = self.cores[t].access(&mut self.sys, Cycle(0), r);
-                let _ = self.apply_effects(Cycle(0), fx, mlp);
+                self.cores[t].access_into(&mut self.sys, Cycle(0), r, &mut fx);
+                let _ = self.apply_effects(Cycle(0), &mut fx, mlp);
             }
         }
         // Reset statistics after warm-up, preserving the live gauges (they
@@ -341,9 +422,7 @@ impl Simulation {
         fresh.dir_live_entries_max = fresh.dir_live_entries;
         self.sys.stats = fresh;
 
-        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..n)
-            .map(|t| Reverse((t as u64, t))) // stagger starts by one cycle
-            .collect();
+        let mut queue = EventQueue::new(n);
         let mut refs_done = vec![0u64; n];
         let mut instrs = vec![0u64; n];
         let mut core_cycles = vec![0u64; n];
@@ -353,10 +432,8 @@ impl Simulation {
         let mut last_retire = vec![0u64; n];
         let mut pops = 0u64;
 
-        while let Some(Reverse((now, t))) = heap.pop() {
-            if finished == n {
-                break;
-            }
+        loop {
+            let (now, t) = queue.peek_min();
             pops += 1;
             if pops.is_multiple_of(WATCHDOG_PERIOD) {
                 let (lag, &seen) = last_retire
@@ -384,8 +461,8 @@ impl Simulation {
             if let Some(d) = draw {
                 self.fault_pre(t, issue, r.block, d)?;
             }
-            let fx = self.cores[t].access(&mut self.sys, Cycle(issue), r);
-            let lat = self.apply_effects(Cycle(issue), fx, mlp);
+            self.cores[t].access_into(&mut self.sys, Cycle(issue), r, &mut fx);
+            let lat = self.apply_effects(Cycle(issue), &mut fx, mlp);
             let done = issue + lat;
             if let Some(d) = draw {
                 self.fault_post(t, done, r.block, d);
@@ -401,7 +478,7 @@ impl Simulation {
                     break;
                 }
             }
-            heap.push(Reverse((done, t)));
+            queue.replace_min(done, t);
         }
 
         // A final exhaustive pass over every shadow-tracked block before
@@ -414,6 +491,7 @@ impl Simulation {
             kind: self.workload.kind,
             stats: self.sys.stats.clone(),
             completion_cycles: core_cycles.iter().copied().max().unwrap_or(0),
+            refs_retired: pops,
             core_cycles,
             core_instrs,
             dram_rw: (dr, dw),

@@ -191,6 +191,9 @@ pub struct SweepSummary {
     pub failed: u64,
     /// Total simulated cycles across executed runs (`completion_cycles`).
     pub sim_cycles: u64,
+    /// Total references retired across executed runs
+    /// ([`crate::engine::SimResult::refs_retired`]).
+    pub refs_retired: u64,
     /// Summed per-job wall-clock of executed runs (CPU-side busy time; with
     /// N workers this exceeds elapsed wall-clock by up to N×).
     pub busy: Duration,
@@ -202,6 +205,12 @@ impl SweepSummary {
     /// here is summed across workers).
     pub fn cycles_per_sec(&self, elapsed: Duration) -> f64 {
         self.sim_cycles as f64 / elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// References retired per second of real time, given the caller's
+    /// elapsed wall-clock.
+    pub fn refs_per_sec(&self, elapsed: Duration) -> f64 {
+        self.refs_retired as f64 / elapsed.as_secs_f64().max(1e-9)
     }
 }
 
@@ -242,11 +251,12 @@ pub fn reset_failures() {
     lock_recover(failures_cell()).clear();
 }
 
-fn record(executed: bool, sim_cycles: u64, wall: Duration) {
+fn record(executed: bool, sim_cycles: u64, refs_retired: u64, wall: Duration) {
     let mut s = lock_recover(summary_cell());
     if executed {
         s.runs_executed += 1;
         s.sim_cycles += sim_cycles;
+        s.refs_retired += refs_retired;
         s.busy += wall;
     } else {
         s.cache_hits += 1;
@@ -298,7 +308,7 @@ fn execute_job(job: &RunJob) -> JobOutcome {
     if let Some(run) = slot.as_deref().and_then(Clone::clone) {
         drop(slot);
         let wall = t0.elapsed();
-        record(false, 0, wall);
+        record(false, 0, 0, wall);
         return JobOutcome {
             run: PointResult::Ok(run),
             wall,
@@ -313,7 +323,12 @@ fn execute_job(job: &RunJob) -> JobOutcome {
             }
             drop(slot);
             let wall = t0.elapsed();
-            record(true, result.result.completion_cycles, wall);
+            record(
+                true,
+                result.result.completion_cycles,
+                result.result.refs_retired,
+                wall,
+            );
             JobOutcome {
                 run: PointResult::Ok(result),
                 wall,

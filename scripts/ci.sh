@@ -31,4 +31,19 @@ echo "== model checker smoke (bounded exploration) =="
 ZERODEV_MC_QUICK=1 \
     cargo run --release -p zerodev_model >/dev/null
 
+echo "== perf regression gate (standardized probe vs committed BENCH) =="
+# Re-measures the fixed serial probe and compares against the newest
+# committed BENCH_<pr>.json (>25% throughput drop fails). Skip with
+# ZERODEV_NO_PERF_GATE=1 (e.g. on loaded or throttled machines).
+if [[ "${ZERODEV_NO_PERF_GATE:-0}" == "1" ]]; then
+    echo "perf gate: skipped (ZERODEV_NO_PERF_GATE=1)"
+else
+    bench_prev=$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1 || true)
+    if [[ -z "$bench_prev" ]]; then
+        echo "perf gate: no committed BENCH_*.json found; skipping"
+    else
+        cargo run --release -p zerodev-bench --bin perf_gate -- "$bench_prev"
+    fi
+fi
+
 echo "CI green."
