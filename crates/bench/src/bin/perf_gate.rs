@@ -3,19 +3,33 @@
 //! `cargo run --release -p zerodev-bench --bin perf_gate -- <BENCH_prev.json>`
 //!
 //! Re-measures the standardized gate probe (`zerodev_bench::report::
-//! measure_gate`: a fixed serial simulation pair plus a bounded
-//! model-checker exploration) on the current build and compares it against
-//! the `gate_*` numbers of the committed report given as the argument.
-//! Exits nonzero when any gate metric regressed by more than
-//! [`MAX_REGRESSION`] (throughputs: lower is worse). Comparing probe
-//! against probe keeps the check apples-to-apples — the committed report's
-//! full-run numbers depend on that run's mode and thread count, the gate
-//! numbers do not.
+//! measure_gate`: a fixed serial simulation pair, the sharded-driver probe,
+//! and a bounded model-checker exploration) on the current build and
+//! compares it against the `gate_*` numbers of the committed report given
+//! as the argument. Exits nonzero when any gate metric regressed by more
+//! than [`MAX_REGRESSION`] (throughputs: lower is worse).
+//!
+//! The comparison normalizes on the standardized probe *only*: the
+//! committed report's full-run numbers depend on that run's `quick`/
+//! `threads` mode (e.g. `BENCH_6.json` was recorded quick with 4 sweep
+//! threads), so they are never compared — the gate numbers are measured
+//! serially under fixed parameters on both sides, keeping the check
+//! apples-to-apples regardless of how the baseline's full run was
+//! configured. The baseline's mode flags are echoed so a surprising
+//! verdict can be read in context.
+//!
+//! Baselines must carry a known schema tag (`zerodev-bench-v1` or `-v2`);
+//! a missing or unknown schema, or a missing/malformed gate field that the
+//! schema says must exist, is a structured failure naming the field and
+//! file — never a panic. v1 baselines simply lack the shard-probe fields,
+//! so those comparisons are skipped for them.
 //!
 //! Skip in CI with `ZERODEV_NO_PERF_GATE=1` (handled by `scripts/ci.sh`;
 //! the binary also honours it so a local invocation behaves the same).
 
-use zerodev_bench::report::{json_number, measure_gate};
+use zerodev_bench::report::{
+    json_number, json_number_required, json_string, measure_gate, SCHEMA, SCHEMA_V1,
+};
 use zerodev_common::env;
 
 /// Allowed fractional throughput drop before the gate fails (0.25 = 25%).
@@ -34,21 +48,68 @@ fn main() {
         eprintln!("perf gate: cannot read {path}: {e}");
         std::process::exit(2);
     });
-    println!("perf gate: measuring standardized probe (vs {path})...");
+    let schema = json_string(&committed, "schema").unwrap_or_else(|| {
+        eprintln!("perf gate: {path}: field \"schema\" is missing or not a string");
+        std::process::exit(2);
+    });
+    let has_shard_probe = match schema.as_str() {
+        SCHEMA => true,
+        SCHEMA_V1 => false,
+        other => {
+            eprintln!(
+                "perf gate: {path}: unknown schema {other:?} \
+                 (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+            );
+            std::process::exit(2);
+        }
+    };
+    // Full-run numbers depend on the baseline's mode; the gate never
+    // compares them, but echo the flags so the context is visible.
+    let quick = if committed.contains("\"quick\": true") {
+        Some(true)
+    } else if committed.contains("\"quick\": false") {
+        Some(false)
+    } else {
+        None
+    };
+    let threads = json_number(&committed, "threads");
+    println!(
+        "perf gate: baseline {path} ({schema}, quick: {}, threads: {}) — \
+         comparing the standardized serial probe only",
+        quick.map_or("unknown".into(), |q| q.to_string()),
+        threads.map_or("unknown".into(), |t| format!("{t:.0}")),
+    );
+    println!("perf gate: measuring standardized probe...");
     let fresh = measure_gate();
-    let checks = [
+    let mut checks = vec![
         ("gate_sim_cycles_per_sec", fresh.sim_cycles_per_sec),
         ("gate_refs_per_sec", fresh.refs_per_sec),
         ("gate_mc_states_per_sec", fresh.mc_states_per_sec),
     ];
+    if has_shard_probe {
+        checks.push((
+            "gate_shard_serial_cycles_per_sec",
+            fresh.shard_serial_cycles_per_sec,
+        ));
+        checks.push(("gate_sharded_cycles_per_sec", fresh.sharded_cycles_per_sec));
+    } else {
+        println!(
+            "  (v1 baseline: shard-probe comparisons skipped; measured \
+             serial {:.0} -> sharded {:.0} cyc/s)",
+            fresh.shard_serial_cycles_per_sec, fresh.sharded_cycles_per_sec
+        );
+    }
     let mut failed = false;
     for (key, now) in checks {
-        let Some(prev) = json_number(&committed, key) else {
-            println!("  {key:<28} baseline missing in {path}; skipping");
-            continue;
+        let prev = match json_number_required(&committed, key) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("perf gate: {path}: {e}");
+                std::process::exit(2);
+            }
         };
         if prev <= 0.0 {
-            println!("  {key:<28} baseline non-positive ({prev}); skipping");
+            println!("  {key:<33} baseline non-positive ({prev}); skipping");
             continue;
         }
         let ratio = now / prev;
@@ -58,7 +119,7 @@ fn main() {
         } else {
             "ok"
         };
-        println!("  {key:<28} {prev:>14.0} -> {now:>14.0}  ({ratio:>5.2}x)  {verdict}");
+        println!("  {key:<33} {prev:>14.0} -> {now:>14.0}  ({ratio:>5.2}x)  {verdict}");
     }
     if failed {
         eprintln!(

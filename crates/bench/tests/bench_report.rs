@@ -3,7 +3,7 @@
 //! keys the CI perf gate and future trend tooling read. Catches a
 //! hand-edited or truncated report before the gate trips over it.
 
-use zerodev_bench::report::{json_number, SCHEMA};
+use zerodev_bench::report::{json_number, json_string, SCHEMA, SCHEMA_V1};
 
 /// Keys every committed report must expose as positive numbers.
 const REQUIRED_POSITIVE: &[&str] = &[
@@ -18,6 +18,13 @@ const REQUIRED_POSITIVE: &[&str] = &[
     "gate_sim_cycles_per_sec",
     "gate_refs_per_sec",
     "gate_mc_states_per_sec",
+];
+
+/// Keys the v2 schema added (sharded-driver gate probe); v1 reports
+/// committed before the probe existed legitimately lack them.
+const REQUIRED_POSITIVE_V2: &[&str] = &[
+    "gate_shard_serial_cycles_per_sec",
+    "gate_sharded_cycles_per_sec",
 ];
 
 /// Keys that must parse but may legitimately be zero.
@@ -49,12 +56,18 @@ fn committed_bench_reports_satisfy_the_schema() {
     for path in reports {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let schema = json_string(&text, "schema")
+            .unwrap_or_else(|| panic!("{} lacks a schema marker", path.display()));
         assert!(
-            text.contains(&format!("\"schema\": \"{SCHEMA}\"")),
-            "{} lacks the schema marker {SCHEMA:?}",
+            schema == SCHEMA || schema == SCHEMA_V1,
+            "{}: unknown schema {schema:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})",
             path.display()
         );
-        for key in REQUIRED_POSITIVE {
+        let mut required_positive = REQUIRED_POSITIVE.to_vec();
+        if schema == SCHEMA {
+            required_positive.extend_from_slice(REQUIRED_POSITIVE_V2);
+        }
+        for key in required_positive {
             let v = json_number(&text, key)
                 .unwrap_or_else(|| panic!("{}: key {key:?} missing", path.display()));
             assert!(

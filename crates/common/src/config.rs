@@ -626,6 +626,24 @@ impl SystemConfig {
         if self.cores == 0 || self.sockets == 0 {
             return Err(ConfigError("need at least one core and socket".into()));
         }
+        // Identifier-width bounds come before the (tighter) sharer-set caps
+        // below: a `SocketId` is 8-bit and a `CoreId` 16-bit, so anything
+        // wider would silently wrap when the engine derives per-core ids,
+        // aliasing threads onto the wrong core. The caps keep these
+        // unreachable today, but the representation bound must hold on its
+        // own if they are ever raised.
+        if self.sockets > (u8::MAX as usize) + 1 {
+            return Err(ConfigError(format!(
+                "{} sockets exceed the 8-bit SocketId space (max 256)",
+                self.sockets
+            )));
+        }
+        if self.cores > (u16::MAX as usize) + 1 {
+            return Err(ConfigError(format!(
+                "{} cores per socket exceed the 16-bit CoreId space (max 65536)",
+                self.cores
+            )));
+        }
         if self.dram.channels == 0 {
             // Without this, the zero surfaces later as a mesh-placement
             // assert deep inside SocketTopology::new.
@@ -893,6 +911,27 @@ mod tests {
             coarse_bits: 16,
         };
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_id_width_overflow() {
+        // Regression: these used to reach the engine, where a bare
+        // `as u8`/`as u16` cast silently wrapped the per-core ids.
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.sockets = 300;
+        let err = cfg.validate().expect_err("300 sockets must fail");
+        assert!(err.0.contains("SocketId"), "{err}");
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.cores = 70_000;
+        let err = cfg.validate().expect_err("70000 cores must fail");
+        assert!(err.0.contains("CoreId"), "{err}");
+        // The tighter sharer-set caps still own the in-width range.
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.sockets = 40;
+        assert!(cfg.validate().unwrap_err().0.contains("SocketSet"));
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.cores = 200;
+        assert!(cfg.validate().unwrap_err().0.contains("SharerSet"));
     }
 
     #[test]

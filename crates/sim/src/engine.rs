@@ -11,11 +11,11 @@ use zerodev_workloads::{Workload, WorkloadKind};
 /// declares the run stalled. Legitimate per-reference latency is bounded by
 /// a few thousand cycles (DRAM queueing included), so a million-cycle
 /// silence is a livelock/deadlock, never a slow access.
-const WATCHDOG_HORIZON: u64 = 1_000_000;
+pub(crate) const WATCHDOG_HORIZON: u64 = 1_000_000;
 
 /// References between watchdog scans of the per-core heartbeats (keeps the
 /// check O(1) amortised per reference).
-const WATCHDOG_PERIOD: u64 = 4_096;
+pub(crate) const WATCHDOG_PERIOD: u64 = 4_096;
 
 /// Packs an event as `(time << 32) | core` so that plain integer order is
 /// exactly lexicographic `(time, core)` order. `u128` keys keep the packing
@@ -33,14 +33,14 @@ fn event_key(time: u64, core: usize) -> u128 {
 /// `BinaryHeap` pop/push sequence. Keys compare exactly like `(time, core)`
 /// tuples, so the schedule — and therefore every statistic — is unchanged.
 #[derive(Debug)]
-struct EventQueue {
+pub(crate) struct EventQueue {
     keys: Vec<u128>,
 }
 
 impl EventQueue {
     /// One event per core, start times staggered by one cycle. The sequence
     /// `(0,0), (1,1), …` is already heap-ordered, so no heapify is needed.
-    fn new(cores: usize) -> Self {
+    pub(crate) fn new(cores: usize) -> Self {
         assert!(cores < (1 << 32), "core index must pack into 32 bits");
         EventQueue {
             keys: (0..cores).map(|t| event_key(t as u64, t)).collect(),
@@ -49,14 +49,14 @@ impl EventQueue {
 
     /// The earliest pending `(time, core)` event.
     #[inline]
-    fn peek_min(&self) -> (u64, usize) {
+    pub(crate) fn peek_min(&self) -> (u64, usize) {
         let k = self.keys[0];
         ((k >> 32) as u64, (k & 0xffff_ffff) as usize)
     }
 
     /// Replaces the minimum event and restores the heap property.
     #[inline]
-    fn replace_min(&mut self, time: u64, core: usize) {
+    pub(crate) fn replace_min(&mut self, time: u64, core: usize) {
         self.keys[0] = event_key(time, core);
         self.sift_down();
     }
@@ -183,6 +183,184 @@ impl SimResult {
     }
 }
 
+/// Where [`apply_effects_via`] lands invalidations/downgrades: the serial
+/// engine routes them straight into its `Vec<CoreModel>`, while the sharded
+/// driver (`crate::shard`) interposes its speculation bookkeeping (poison
+/// detection, delivery logging) before the same per-core application.
+pub(crate) trait EffectSink {
+    /// Downgrades `block` at `(socket, core)`; returns true when the copy
+    /// was Modified (the caller then reports the sharing writeback).
+    fn downgrade(
+        &mut self,
+        socket: SocketId,
+        core: CoreId,
+        block: zerodev_common::BlockAddr,
+    ) -> bool;
+    /// Invalidates `block` at `(socket, core)`; returns the state the copy
+    /// was in (the caller routes Modified data back to the protocol).
+    fn invalidate(
+        &mut self,
+        socket: SocketId,
+        core: CoreId,
+        block: zerodev_common::BlockAddr,
+    ) -> MesiState;
+}
+
+/// Applies one access's invalidations/downgrades through `sink`, reporting
+/// dirty data back to the protocol (which may cascade). Returns the
+/// core-visible latency: private latency plus the uncore latency de-rated
+/// by the workload's memory-level parallelism.
+///
+/// Drains the effect buffer in place so callers can reuse one allocation
+/// across every reference: invalidations are consumed LIFO off the tail
+/// while cascading recalls append to the same vector — exactly the order
+/// the former take-and-extend version processed. Shared verbatim between
+/// the serial loop and the sharded commit walker so the two paths cannot
+/// drift.
+pub(crate) fn apply_effects_via(
+    sys: &mut System,
+    now: Cycle,
+    fx: &mut AccessEffects,
+    mlp: f64,
+    sink: &mut impl EffectSink,
+) -> u64 {
+    let latency = fx.latency + (fx.uncore_latency as f64 / mlp.max(1.0)).round() as u64;
+    for d in fx.downgrades.drain(..) {
+        if sink.downgrade(d.socket, d.core, d.block) {
+            sys.sharing_writeback(now, d.socket, d.block);
+        }
+    }
+    while let Some(inv) = fx.invalidations.pop() {
+        let state = sink.invalidate(inv.socket, inv.core, inv.block);
+        if state == MesiState::Modified {
+            match inv.reason {
+                InvalReason::Dev => {
+                    sys.dev_dirty_recall_into(now, inv.socket, inv.block, &mut fx.invalidations);
+                }
+                InvalReason::Inclusion => {
+                    sys.inclusion_dirty_writeback(now, inv.socket, inv.block);
+                }
+                InvalReason::Coherence => {
+                    // Dirty data travelled with the ownership transfer.
+                }
+            }
+        }
+    }
+    latency
+}
+
+/// Requester-side fault handling *before* the access reaches the uncore
+/// (see [`Simulation::fault_pre`] for semantics). Free-standing so the
+/// sharded commit walker can drive the identical fault path without a
+/// `Simulation` value.
+#[allow(clippy::too_many_arguments)] // one call site per driver; a params struct would only obscure it
+pub(crate) fn fault_pre_at(
+    sys: &mut System,
+    faults: &mut Option<Box<FaultPlan>>,
+    t: usize,
+    socket: SocketId,
+    core: CoreId,
+    issue: u64,
+    block: zerodev_common::BlockAddr,
+    d: crate::faults::FaultDraw,
+) -> Result<(), SimError> {
+    let Some(len) = d.nack_storm else {
+        return Ok(());
+    };
+    let plan = faults.as_deref_mut().expect("fault draw without a plan");
+    let budget = plan.config().retry_budget;
+    if len > budget {
+        return Err(SimError::Stalled {
+            core: t,
+            cycle: issue,
+            last_event: format!(
+                "DENF_NACK storm of {len} on {block:?} exceeded the retry budget of {budget}"
+            ),
+        });
+    }
+    plan.stats.nack_storms += 1;
+    plan.stats.nacks += u64::from(len);
+    plan.stats.backoff_cycles += plan.config().backoff_cycles(len);
+    let mut phantom = 0u64;
+    for _ in 0..len {
+        phantom += sys.fault_route(socket, core, block, MsgClass::DenfNack.bytes());
+    }
+    plan.stats.phantom_noc_cycles += phantom;
+    Ok(())
+}
+
+/// Completion-side fault handling *after* the access resolved (see
+/// [`Simulation::fault_post`] for semantics). Free-standing for the same
+/// reason as [`fault_pre_at`].
+pub(crate) fn fault_post_at(
+    sys: &mut System,
+    faults: &mut Option<Box<FaultPlan>>,
+    socket: SocketId,
+    core: CoreId,
+    done: u64,
+    block: zerodev_common::BlockAddr,
+    d: crate::faults::FaultDraw,
+) {
+    if let Some(extra) = d.delay {
+        let plan = faults.as_deref_mut().expect("plan present");
+        plan.stats.delayed += 1;
+        plan.stats.delay_cycles += extra;
+    }
+    if d.duplicate {
+        let current = sys.duplicate_completion_is_current(socket, core, block);
+        let phantom = sys.fault_route(socket, core, block, MsgClass::Data.bytes());
+        let plan = faults.as_deref_mut().expect("plan present");
+        plan.stats.duplicates += 1;
+        if !current {
+            plan.stats.duplicates_stale += 1;
+        }
+        plan.stats.phantom_noc_cycles += phantom;
+    }
+    if let Some(kind) = d.corrupt {
+        if let Some(plan) = faults.as_deref_mut() {
+            if let Some((victim, desc)) = sys.inject_state_fault(kind, plan.rng_mut()) {
+                plan.corruption_injected(format!("at cycle {done}: {kind:?}: {desc}"));
+                sys.audit_check_block(victim);
+            }
+        }
+    }
+}
+
+/// The serial sink: effects land directly on the committed core models.
+struct CoreSink<'a> {
+    cores: &'a mut [CoreModel],
+    cores_per_socket: usize,
+}
+
+impl CoreSink<'_> {
+    #[inline]
+    fn index(&self, socket: SocketId, core: CoreId) -> usize {
+        socket.0 as usize * self.cores_per_socket + core.0 as usize
+    }
+}
+
+impl EffectSink for CoreSink<'_> {
+    fn downgrade(
+        &mut self,
+        socket: SocketId,
+        core: CoreId,
+        block: zerodev_common::BlockAddr,
+    ) -> bool {
+        let idx = self.index(socket, core);
+        self.cores[idx].apply_downgrade(block)
+    }
+
+    fn invalidate(
+        &mut self,
+        socket: SocketId,
+        core: CoreId,
+        block: zerodev_common::BlockAddr,
+    ) -> MesiState {
+        let idx = self.index(socket, core);
+        self.cores[idx].apply_invalidation(block)
+    }
+}
+
 /// A running simulation: the protocol engine plus all core models and the
 /// workload's reference generators.
 #[derive(Debug)]
@@ -209,13 +387,15 @@ impl Simulation {
             workload.threads.len()
         );
         let sys = System::new(cfg.clone()).expect("valid config");
+        // `System::new` ran `SystemConfig::validate`, which bounds sockets
+        // and per-socket cores to their id widths — so these conversions
+        // cannot fail. Checked anyway: a silent wrap here would alias
+        // threads onto the wrong core.
         let cores = (0..total)
             .map(|t| {
-                CoreModel::new(
-                    cfg,
-                    SocketId((t / cfg.cores) as u8),
-                    CoreId((t % cfg.cores) as u16),
-                )
+                let socket = u8::try_from(t / cfg.cores).expect("validate bounds socket ids");
+                let core = u16::try_from(t % cfg.cores).expect("validate bounds core ids");
+                CoreModel::new(cfg, SocketId(socket), CoreId(core))
             })
             .collect();
         Simulation {
@@ -247,51 +427,15 @@ impl Simulation {
         self.sys.enable_audit();
     }
 
-    fn core_index(&self, socket: SocketId, core: CoreId) -> usize {
-        socket.0 as usize * self.sys.config().cores + core.0 as usize
-    }
-
-    /// Applies invalidations/downgrades to the victim cores, reporting
-    /// dirty data back to the protocol (which may cascade). Returns the
-    /// core-visible latency: private latency plus the uncore latency
-    /// de-rated by the workload's memory-level parallelism.
-    ///
-    /// Drains the effect buffer in place so the engine can reuse one
-    /// allocation across every reference: invalidations are consumed LIFO
-    /// off the tail while cascading recalls append to the same vector —
-    /// exactly the order the former take-and-extend version processed.
+    /// Applies invalidations/downgrades to the victim cores via
+    /// [`apply_effects_via`] (the logic shared with the sharded walker).
     fn apply_effects(&mut self, now: Cycle, fx: &mut AccessEffects, mlp: f64) -> u64 {
-        let latency = fx.latency + (fx.uncore_latency as f64 / mlp.max(1.0)).round() as u64;
-        for d in fx.downgrades.drain(..) {
-            let idx = self.core_index(d.socket, d.core);
-            if self.cores[idx].apply_downgrade(d.block) {
-                self.sys.sharing_writeback(now, d.socket, d.block);
-            }
-        }
-        while let Some(inv) = fx.invalidations.pop() {
-            let idx = self.core_index(inv.socket, inv.core);
-            let state = self.cores[idx].apply_invalidation(inv.block);
-            if state == MesiState::Modified {
-                match inv.reason {
-                    InvalReason::Dev => {
-                        self.sys.dev_dirty_recall_into(
-                            now,
-                            inv.socket,
-                            inv.block,
-                            &mut fx.invalidations,
-                        );
-                    }
-                    InvalReason::Inclusion => {
-                        self.sys
-                            .inclusion_dirty_writeback(now, inv.socket, inv.block);
-                    }
-                    InvalReason::Coherence => {
-                        // Dirty data travelled with the ownership transfer.
-                    }
-                }
-            }
-        }
-        latency
+        let cores_per_socket = self.sys.config().cores;
+        let mut sink = CoreSink {
+            cores: &mut self.cores,
+            cores_per_socket,
+        };
+        apply_effects_via(&mut self.sys, now, fx, mlp, &mut sink)
     }
 
     /// Requester-side fault handling *before* the access reaches the
@@ -305,35 +449,17 @@ impl Simulation {
         block: zerodev_common::BlockAddr,
         d: crate::faults::FaultDraw,
     ) -> Result<(), SimError> {
-        let Some(len) = d.nack_storm else {
-            return Ok(());
-        };
-        let plan = self
-            .faults
-            .as_deref_mut()
-            .expect("fault draw without a plan");
-        let budget = plan.config().retry_budget;
-        if len > budget {
-            return Err(SimError::Stalled {
-                core: t,
-                cycle: issue,
-                last_event: format!(
-                    "DENF_NACK storm of {len} on {block:?} exceeded the retry budget of {budget}"
-                ),
-            });
-        }
-        plan.stats.nack_storms += 1;
-        plan.stats.nacks += u64::from(len);
-        plan.stats.backoff_cycles += plan.config().backoff_cycles(len);
         let (socket, core) = (self.cores[t].socket(), self.cores[t].core());
-        let mut phantom = 0u64;
-        for _ in 0..len {
-            phantom += self
-                .sys
-                .fault_route(socket, core, block, MsgClass::DenfNack.bytes());
-        }
-        plan.stats.phantom_noc_cycles += phantom;
-        Ok(())
+        fault_pre_at(
+            &mut self.sys,
+            &mut self.faults,
+            t,
+            socket,
+            core,
+            issue,
+            block,
+            d,
+        )
     }
 
     /// Completion-side fault handling *after* the access resolved: delayed
@@ -349,34 +475,15 @@ impl Simulation {
         d: crate::faults::FaultDraw,
     ) {
         let (socket, core) = (self.cores[t].socket(), self.cores[t].core());
-        if let Some(extra) = d.delay {
-            let plan = self.faults.as_deref_mut().expect("plan present");
-            plan.stats.delayed += 1;
-            plan.stats.delay_cycles += extra;
-        }
-        if d.duplicate {
-            let current = self
-                .sys
-                .duplicate_completion_is_current(socket, core, block);
-            let phantom = self
-                .sys
-                .fault_route(socket, core, block, MsgClass::Data.bytes());
-            let plan = self.faults.as_deref_mut().expect("plan present");
-            plan.stats.duplicates += 1;
-            if !current {
-                plan.stats.duplicates_stale += 1;
-            }
-            plan.stats.phantom_noc_cycles += phantom;
-        }
-        if let Some(kind) = d.corrupt {
-            let Simulation { sys, faults, .. } = self;
-            if let Some(plan) = faults.as_deref_mut() {
-                if let Some((victim, desc)) = sys.inject_state_fault(kind, plan.rng_mut()) {
-                    plan.corruption_injected(format!("at cycle {done}: {kind:?}: {desc}"));
-                    sys.audit_check_block(victim);
-                }
-            }
-        }
+        fault_post_at(
+            &mut self.sys,
+            &mut self.faults,
+            socket,
+            core,
+            done,
+            block,
+            d,
+        );
     }
 
     /// Runs until every core has retired `refs_per_core` references after a
@@ -498,6 +605,40 @@ impl Simulation {
             faults: self.faults.take().map(|p| p.stats).unwrap_or_default(),
         })
     }
+
+    /// [`Self::run`] with the deterministic sharded driver
+    /// (`crate::shard`): cores are partitioned into `shards` shards that
+    /// speculate private-hierarchy work on worker threads, while the global
+    /// `(time, core)` event order is committed serially — results are
+    /// byte-identical to [`Self::run`] at any shard count. `shards <= 1`
+    /// (or a single core) falls back to the serial loop.
+    ///
+    /// # Panics
+    /// Panics (via [`SimError`]'s message) when the forward-progress
+    /// watchdog fires; use [`Self::try_run_sharded`] for structured stalls.
+    pub fn run_sharded(self, refs_per_core: u64, warmup_refs: u64, shards: usize) -> SimResult {
+        self.try_run_sharded(refs_per_core, warmup_refs, shards)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Self::run_sharded`], surfacing stalls as [`SimError::Stalled`].
+    pub fn try_run_sharded(
+        self,
+        refs_per_core: u64,
+        warmup_refs: u64,
+        shards: usize,
+    ) -> Result<SimResult, SimError> {
+        let shards = shards.clamp(1, self.cores.len().max(1));
+        if shards <= 1 {
+            return self.try_run(refs_per_core, warmup_refs);
+        }
+        crate::shard::run(self, refs_per_core, warmup_refs, shards)
+    }
+
+    /// Decomposes the simulation into the parts the sharded driver owns.
+    pub(crate) fn into_parts(self) -> (System, Vec<CoreModel>, Workload, Option<Box<FaultPlan>>) {
+        (self.sys, self.cores, self.workload, self.faults)
+    }
 }
 
 #[cfg(test)]
@@ -573,6 +714,17 @@ mod tests {
     fn thread_count_mismatch_panics() {
         let cfg = SystemConfig::baseline_8core();
         let wl = multithreaded("ferret", 4, 1).unwrap();
+        let _ = Simulation::new(&cfg, wl);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the 8-bit SocketId space")]
+    fn oversized_socket_count_is_rejected_before_ids_wrap() {
+        // Regression: 300 sockets used to wrap `SocketId` (a u8) and alias
+        // threads onto the wrong socket; validation now rejects it first.
+        let mut cfg = SystemConfig::baseline_8core();
+        cfg.sockets = 300;
+        let wl = multithreaded("ferret", 8 * 300, 1).unwrap();
         let _ = Simulation::new(&cfg, wl);
     }
 }

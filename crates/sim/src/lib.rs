@@ -18,6 +18,11 @@
 //! * [`faults`] — deterministic fault injection (`ZERODEV_FAULTS`): seeded
 //!   state corruption the oracle must catch, and message-level faults the
 //!   protocol must absorb without statistics divergence.
+//! * `shard` — deterministic intra-run parallelism (`ZERODEV_SHARDS`):
+//!   cores are partitioned into shards that speculate private-hierarchy
+//!   work on worker threads between epoch barriers, while a serial walker
+//!   commits the global event order — results are byte-identical to the
+//!   serial loop at any shard count.
 //!
 //! # Example
 //!
@@ -38,6 +43,7 @@ pub mod engine;
 pub mod faults;
 pub mod parallel;
 pub mod runner;
+mod shard;
 
 pub use engine::{SimError, SimResult, Simulation};
 pub use faults::{FaultConfig, FaultPlan, FaultStats, StateFault};
