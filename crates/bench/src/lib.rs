@@ -382,7 +382,11 @@ pub fn run_figures_timed(figs: &[(&str, fn())]) -> Vec<report::FigureTiming> {
     let mut failed: Vec<(&str, String)> = Vec::new();
     for &(name, fig) in figs {
         let t0 = std::time::Instant::now();
+        // Isolated sweep-point failures inside this figure's grids report
+        // the figure they degraded.
+        parallel::set_sweep_context(Some(name));
         let outcome = std::panic::catch_unwind(fig);
+        parallel::set_sweep_context(None);
         let wall = t0.elapsed();
         let fig_failed = outcome.is_err();
         if let Err(p) = outcome {

@@ -260,6 +260,7 @@ fn gate_sim_probe() -> (u64, u64) {
         shards: 1,
         audit: false,
         faults: None,
+        ..Default::default()
     };
     let mut cycles = 0u64;
     let mut refs = 0u64;
@@ -288,6 +289,7 @@ fn gate_shard_probe(shards: usize) -> u64 {
         shards,
         audit: false,
         faults: None,
+        ..Default::default()
     };
     let r = run(
         &SystemConfig::four_socket(),

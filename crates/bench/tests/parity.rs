@@ -74,6 +74,7 @@ fn point_sharded(policy: SpillPolicy, design: LlcDesign, sockets: usize, shards:
         shards,
         audit: true,
         faults: None,
+        ..Default::default()
     };
     let wl = multithreaded("canneal", cores, 0x9a11_7e57).expect("known app");
     let r = run(&cfg, wl, &params).result;
@@ -184,6 +185,7 @@ fn shards_and_threads_agree_under_audit_and_faults() {
             shards,
             audit: true,
             faults: Some(faults),
+            ..Default::default()
         };
         let wl = multithreaded("canneal", cfg.cores * cfg.sockets, 0x0dd5_eed5).expect("known app");
         let r = run(&cfg, wl, &params).result;

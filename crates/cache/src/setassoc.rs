@@ -540,6 +540,108 @@ impl<T> SetAssoc<T> {
     pub fn set_len(&self, key: u64) -> usize {
         self.set_live[self.set_of(key)] as usize
     }
+
+    /// Serializes the whole array *lane-exactly* for checkpointing — the
+    /// whole-hierarchy generalization of [`Self::save_set`]. Geometry
+    /// (sets, ways, policy) is written first and verified by
+    /// [`Self::restore_with`] against the target instance; then the tag,
+    /// metadata, recency, and payload lanes follow verbatim, so a restored
+    /// array reproduces victim choice, NRU bits, and duplicate-tag layout
+    /// byte-for-byte. `ser` encodes one payload.
+    pub fn snapshot_with(
+        &self,
+        w: &mut zerodev_common::snap::SnapWriter,
+        mut ser: impl FnMut(&mut zerodev_common::snap::SnapWriter, &T),
+    ) {
+        w.usize(self.sets);
+        w.usize(self.ways);
+        w.u8(match self.policy {
+            Replacement::Lru => 0,
+            Replacement::Nru => 1,
+        });
+        w.usize(self.live);
+        for &t in &self.tags {
+            w.u64(t);
+        }
+        for &m in &self.meta {
+            w.u8(m);
+        }
+        for &r in &self.recency {
+            w.u8(r);
+        }
+        for &l in &self.set_live {
+            w.u8(l);
+        }
+        for d in &self.data {
+            match d {
+                Some(v) => {
+                    w.bool(true);
+                    ser(w, v);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Restores a [`Self::snapshot_with`] image into this array, which must
+    /// have been constructed with the same geometry (the snapshot's header
+    /// is checked against it). `de` decodes one payload.
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on any
+    /// geometry mismatch, lane-length drift, or payload decode error.
+    pub fn restore_with(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+        mut de: impl FnMut(
+            &mut zerodev_common::snap::SnapReader<'_>,
+        ) -> Result<T, zerodev_common::snap::SnapError>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        let sets = r.usize("setassoc sets")?;
+        let ways = r.usize("setassoc ways")?;
+        let policy = match r.u8("setassoc policy")? {
+            0 => Replacement::Lru,
+            1 => Replacement::Nru,
+            _ => {
+                return Err(SnapError::Corrupt {
+                    context: "setassoc policy",
+                })
+            }
+        };
+        if sets != self.sets || ways != self.ways || policy != self.policy {
+            return Err(SnapError::Corrupt {
+                context: "setassoc geometry",
+            });
+        }
+        let live = r.usize("setassoc live")?;
+        if live > sets * ways {
+            return Err(SnapError::Corrupt {
+                context: "setassoc live count",
+            });
+        }
+        self.live = live;
+        for t in self.tags.iter_mut() {
+            *t = r.u64("setassoc tag")?;
+        }
+        for m in self.meta.iter_mut() {
+            *m = r.u8("setassoc meta")?;
+        }
+        for rec in self.recency.iter_mut() {
+            *rec = r.u8("setassoc recency")?;
+        }
+        for l in self.set_live.iter_mut() {
+            *l = r.u8("setassoc set_live")?;
+        }
+        for d in self.data.iter_mut() {
+            *d = if r.bool("setassoc line flag")? {
+                Some(de(r)?)
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -195,6 +195,75 @@ impl<V> FlatMap<V> {
             .filter_map(|(&k, v)| v.as_ref().map(|v| (k, v)))
     }
 
+    /// Serializes the map *lane-exactly* for checkpointing: capacity, length,
+    /// hash shift, and every slot (occupied flag, key, value). Re-inserting
+    /// the entries would not reproduce wrap-around probe clusters, and slot
+    /// order feeds deterministic victim selection in the fault injector, so
+    /// byte-identical resume requires the raw layout.
+    pub fn snapshot_with(
+        &self,
+        w: &mut crate::snap::SnapWriter,
+        mut ser: impl FnMut(&mut crate::snap::SnapWriter, &V),
+    ) {
+        w.usize(self.keys.len());
+        w.usize(self.len);
+        w.u32(self.shift);
+        for (k, v) in self.keys.iter().zip(self.vals.iter()) {
+            match v {
+                Some(v) => {
+                    w.bool(true);
+                    w.u64(*k);
+                    ser(w, v);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Rebuilds a map from a [`FlatMap::snapshot_with`] image.
+    pub fn restore_with(
+        r: &mut crate::snap::SnapReader<'_>,
+        mut de: impl FnMut(&mut crate::snap::SnapReader<'_>) -> Result<V, crate::snap::SnapError>,
+    ) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let cap = r.usize("flatmap capacity")?;
+        if !cap.is_power_of_two() || cap < MIN_CAP {
+            return Err(SnapError::Corrupt {
+                context: "flatmap capacity",
+            });
+        }
+        let len = r.usize("flatmap len")?;
+        let shift = r.u32("flatmap shift")?;
+        if shift != 64 - cap.trailing_zeros() || len > cap {
+            return Err(SnapError::Corrupt {
+                context: "flatmap shift/len",
+            });
+        }
+        let mut keys = vec![0u64; cap];
+        let mut vals = Vec::with_capacity(cap);
+        let mut occupied = 0usize;
+        for key in keys.iter_mut() {
+            if r.bool("flatmap slot flag")? {
+                *key = r.u64("flatmap key")?;
+                vals.push(Some(de(r)?));
+                occupied += 1;
+            } else {
+                vals.push(None);
+            }
+        }
+        if occupied != len {
+            return Err(SnapError::Corrupt {
+                context: "flatmap occupancy",
+            });
+        }
+        Ok(FlatMap {
+            keys,
+            vals,
+            len,
+            shift,
+        })
+    }
+
     /// Grows the table when one more insertion would pass 7/8 occupancy.
     fn reserve_one(&mut self) {
         if (self.len + 1) * 8 <= self.keys.len() * 7 {

@@ -18,6 +18,8 @@
 //! * [`flatmap`] — a flat open-addressing `u64 → V` hash map (Fibonacci
 //!   hashing, backward-shift deletion) used on the protocol engine's hot
 //!   lookup paths instead of the SipHash-hardened std map.
+//! * [`snap`] — hand-rolled versioned binary snapshot encoding (magic,
+//!   version, FNV-1a checksum) used by checkpoint/resume.
 //! * [`table`] — plain-text table rendering for the figure harnesses.
 //! * [`protocol`] — the protocol vocabulary ([`protocol::Op`],
 //!   [`protocol::EvictKind`], invalidations/downgrades) and the pure
@@ -45,6 +47,7 @@ pub mod mesi;
 pub mod msg;
 pub mod protocol;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod table;
 

@@ -206,6 +206,113 @@ impl Stats {
         self.socket_misses += other.socket_misses;
     }
 
+    /// Serializes every counter, in declaration order, for checkpointing.
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        for v in self.msg_counts.iter().chain(self.msg_bytes.iter()) {
+            w.u64(*v);
+        }
+        for v in self.scalar_fields() {
+            w.u64(v);
+        }
+    }
+
+    /// Rebuilds a counter set from a [`Stats::snap`] image.
+    pub fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let mut s = Stats::new();
+        for v in s.msg_counts.iter_mut().chain(s.msg_bytes.iter_mut()) {
+            *v = r.u64("stats msg lane")?;
+        }
+        let mut scalars = [0u64; 34];
+        for v in scalars.iter_mut() {
+            *v = r.u64("stats scalar")?;
+        }
+        s.set_scalar_fields(&scalars);
+        Ok(s)
+    }
+
+    /// The non-array counters in declaration order (checkpoint layout; keep
+    /// in sync with [`Stats::set_scalar_fields`]).
+    fn scalar_fields(&self) -> [u64; 34] {
+        [
+            self.core_cache_misses,
+            self.l1d_misses,
+            self.l1i_misses,
+            self.upgrades,
+            self.llc_hits,
+            self.llc_misses,
+            self.llc_tag_lookups,
+            self.llc_data_accesses,
+            self.llc_dir_accesses,
+            self.dir_lookups,
+            self.dir_allocs,
+            self.dir_evictions,
+            self.dev_invalidations,
+            self.dev_dirty_recalls,
+            self.inclusion_invalidations,
+            self.coherence_invalidations,
+            self.dir_spills,
+            self.dir_fuses,
+            self.dir_llc_evictions,
+            self.get_de_requests,
+            self.denf_nacks,
+            self.fused_read_forwards,
+            self.spilled_lines_current,
+            self.spilled_lines_max,
+            self.dir_live_entries,
+            self.dir_live_entries_max,
+            self.dram_reads,
+            self.dram_writes,
+            self.dram_writes_dir,
+            self.dram_reads_dir,
+            self.llc_read_misses_corrupted,
+            self.two_hop_reads,
+            self.three_hop_reads,
+            self.socket_misses,
+        ]
+    }
+
+    fn set_scalar_fields(&mut self, v: &[u64; 34]) {
+        [
+            &mut self.core_cache_misses,
+            &mut self.l1d_misses,
+            &mut self.l1i_misses,
+            &mut self.upgrades,
+            &mut self.llc_hits,
+            &mut self.llc_misses,
+            &mut self.llc_tag_lookups,
+            &mut self.llc_data_accesses,
+            &mut self.llc_dir_accesses,
+            &mut self.dir_lookups,
+            &mut self.dir_allocs,
+            &mut self.dir_evictions,
+            &mut self.dev_invalidations,
+            &mut self.dev_dirty_recalls,
+            &mut self.inclusion_invalidations,
+            &mut self.coherence_invalidations,
+            &mut self.dir_spills,
+            &mut self.dir_fuses,
+            &mut self.dir_llc_evictions,
+            &mut self.get_de_requests,
+            &mut self.denf_nacks,
+            &mut self.fused_read_forwards,
+            &mut self.spilled_lines_current,
+            &mut self.spilled_lines_max,
+            &mut self.dir_live_entries,
+            &mut self.dir_live_entries_max,
+            &mut self.dram_reads,
+            &mut self.dram_writes,
+            &mut self.dram_writes_dir,
+            &mut self.dram_reads_dir,
+            &mut self.llc_read_misses_corrupted,
+            &mut self.two_hop_reads,
+            &mut self.three_hop_reads,
+            &mut self.socket_misses,
+        ]
+        .into_iter()
+        .zip(v.iter())
+        .for_each(|(dst, src)| *dst = *src);
+    }
+
     /// Renders a compact multi-line summary for debugging and the examples.
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;

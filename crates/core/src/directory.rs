@@ -54,6 +54,38 @@ impl DirEntry {
     pub fn is_dead(&self) -> bool {
         self.sharers.is_empty()
     }
+
+    /// Serializes the entry for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.u8(match self.state {
+            DirState::OwnedME => 0,
+            DirState::Shared => 1,
+        });
+        w.u128(self.sharers.0);
+    }
+
+    /// Decodes a [`DirEntry::snap`] image.
+    ///
+    /// # Errors
+    /// Fails with a decode [`zerodev_common::snap::SnapError`] on a bad
+    /// state tag or truncated input.
+    pub fn unsnap(
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<DirEntry, zerodev_common::snap::SnapError> {
+        let state = match r.u8("dir entry state")? {
+            0 => DirState::OwnedME,
+            1 => DirState::Shared,
+            _ => {
+                return Err(zerodev_common::snap::SnapError::Corrupt {
+                    context: "dir entry state",
+                })
+            }
+        };
+        Ok(DirEntry {
+            state,
+            sharers: SharerSet(r.u128("dir entry sharers")?),
+        })
+    }
 }
 
 /// A directory entry forcibly evicted from a dedicated structure, together
@@ -240,6 +272,74 @@ impl DirStore {
             DirStore::None => 0,
             DirStore::SecDir(sd) => sd.live_entries(),
             DirStore::MultiGrain(mgd) => mgd.live_entries(),
+        }
+    }
+
+    /// Serializes the directory contents for checkpointing. Geometry is
+    /// rebuilt from configuration on restore; only occupancy is written.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        match self {
+            DirStore::Sparse {
+                array,
+                replacement_disabled,
+            } => {
+                w.u8(0);
+                w.bool(*replacement_disabled);
+                array.snapshot_with(w, |w, e| e.snap(w));
+            }
+            DirStore::Unbounded(map) => {
+                w.u8(1);
+                map.snapshot_with(w, |w, e| e.snap(w));
+            }
+            DirStore::None => w.u8(2),
+            DirStore::SecDir(sd) => {
+                w.u8(3);
+                sd.snap(w);
+            }
+            DirStore::MultiGrain(mgd) => {
+                w.u8(4);
+                mgd.snap(w);
+            }
+        }
+    }
+
+    /// Restores a [`DirStore::snap`] image into this store, which must have
+    /// been freshly built from the same configuration ([`DirStore::build`]).
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] when the
+    /// image's directory kind or geometry disagrees with this store.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        let tag = r.u8("dirstore kind")?;
+        match (tag, self) {
+            (
+                0,
+                DirStore::Sparse {
+                    array,
+                    replacement_disabled,
+                },
+            ) => {
+                if r.bool("dirstore replacement_disabled")? != *replacement_disabled {
+                    return Err(SnapError::Corrupt {
+                        context: "dirstore replacement_disabled",
+                    });
+                }
+                array.restore_with(r, DirEntry::unsnap)
+            }
+            (1, DirStore::Unbounded(map)) => {
+                *map = FlatMap::restore_with(r, DirEntry::unsnap)?;
+                Ok(())
+            }
+            (2, DirStore::None) => Ok(()),
+            (3, DirStore::SecDir(sd)) => sd.unsnap(r),
+            (4, DirStore::MultiGrain(mgd)) => mgd.unsnap(r),
+            _ => Err(SnapError::Corrupt {
+                context: "dirstore kind",
+            }),
         }
     }
 }

@@ -55,6 +55,50 @@ impl LlcLine {
             LlcLine::Data { .. } => None,
         }
     }
+
+    /// Serializes the line for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        match self {
+            LlcLine::Data { dirty } => {
+                w.u8(0);
+                w.bool(*dirty);
+            }
+            LlcLine::Spilled { entry } => {
+                w.u8(1);
+                entry.snap(w);
+            }
+            LlcLine::Fused { entry, block_dirty } => {
+                w.u8(2);
+                entry.snap(w);
+                w.bool(*block_dirty);
+            }
+        }
+    }
+
+    /// Decodes a [`LlcLine::snap`] image.
+    ///
+    /// # Errors
+    /// Fails with a decode [`zerodev_common::snap::SnapError`] on a bad
+    /// line tag or truncated input.
+    pub fn unsnap(
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<LlcLine, zerodev_common::snap::SnapError> {
+        match r.u8("llc line tag")? {
+            0 => Ok(LlcLine::Data {
+                dirty: r.bool("llc line dirty")?,
+            }),
+            1 => Ok(LlcLine::Spilled {
+                entry: DirEntry::unsnap(r)?,
+            }),
+            2 => Ok(LlcLine::Fused {
+                entry: DirEntry::unsnap(r)?,
+                block_dirty: r.bool("llc fused block_dirty")?,
+            }),
+            _ => Err(zerodev_common::snap::SnapError::Corrupt {
+                context: "llc line tag",
+            }),
+        }
+    }
 }
 
 /// A line evicted from an LLC bank.
@@ -325,6 +369,27 @@ impl LlcBank {
             .iter()
             .filter(|(_, l)| matches!(l, LlcLine::Spilled { .. }))
             .count()
+    }
+
+    /// Serializes the bank contents and port horizon for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        self.array.snapshot_with(w, |w, line| line.snap(w));
+        w.u64(self.port_free.0);
+    }
+
+    /// Restores a [`LlcBank::snap`] image into this bank, which must have
+    /// the same geometry (freshly built from the same configuration).
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on
+    /// geometry mismatch or decode error.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        self.array.restore_with(r, LlcLine::unsnap)?;
+        self.port_free = Cycle(r.u64("llc port_free")?);
+        Ok(())
     }
 }
 

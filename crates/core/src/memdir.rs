@@ -323,6 +323,90 @@ impl MemorySide {
     pub fn miss_needs_memory_read(&self) -> bool {
         self.backing == SocketDirBacking::MemoryBacked
     }
+
+    /// Serializes the memory side — DRAM timing state, corrupted-block map,
+    /// socket-directory caches and backing stores, and the cache counters —
+    /// for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.usize(self.drams.len());
+        for d in &self.drams {
+            d.snap(w);
+        }
+        self.corrupted.snapshot_with(w, |w, cb| {
+            w.usize(cb.segments.len());
+            for (sk, e) in &cb.segments {
+                w.u8(sk.0);
+                e.snap(w);
+            }
+        });
+        w.usize(self.dir_caches.len());
+        for c in &self.dir_caches {
+            c.snapshot_with(w, |w, e| {
+                w.bool(e.owned);
+                w.u32(e.sharers.0);
+            });
+        }
+        for b in &self.dir_backing {
+            b.snapshot_with(w, |w, e| {
+                w.bool(e.owned);
+                w.u32(e.sharers.0);
+            });
+        }
+        w.u64(self.dir_cache_misses);
+        w.u64(self.dir_cache_hits);
+    }
+
+    /// Restores a [`MemorySide::snap`] image into this memory side, which
+    /// must have been freshly built from the same configuration.
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on
+    /// geometry mismatch or decode error.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        fn socket_entry(
+            r: &mut zerodev_common::snap::SnapReader<'_>,
+        ) -> Result<SocketDirEntry, SnapError> {
+            Ok(SocketDirEntry {
+                owned: r.bool("socket dir owned")?,
+                sharers: SocketSet(r.u32("socket dir sharers")?),
+            })
+        }
+        if r.usize("memdir dram count")? != self.drams.len() {
+            return Err(SnapError::Corrupt {
+                context: "memdir dram count",
+            });
+        }
+        for d in self.drams.iter_mut() {
+            d.unsnap(r)?;
+        }
+        self.corrupted = FlatMap::restore_with(r, |r| {
+            let n = r.usize("corrupted segment count")?;
+            let mut cb = CorruptedBlock::default();
+            for _ in 0..n {
+                let sk = SocketId(r.u8("corrupted segment socket")?);
+                cb.segments.push((sk, DirEntry::unsnap(r)?));
+            }
+            Ok(cb)
+        })?;
+        if r.usize("memdir dir cache count")? != self.dir_caches.len() {
+            return Err(SnapError::Corrupt {
+                context: "memdir dir cache count",
+            });
+        }
+        for c in self.dir_caches.iter_mut() {
+            c.restore_with(r, socket_entry)?;
+        }
+        for b in self.dir_backing.iter_mut() {
+            *b = FlatMap::restore_with(r, socket_entry)?;
+        }
+        self.dir_cache_misses = r.u64("memdir dir_cache_misses")?;
+        self.dir_cache_hits = r.u64("memdir dir_cache_hits")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -206,6 +206,51 @@ impl MultiGrainDir {
     pub fn live_entries(&self) -> usize {
         self.array.len()
     }
+
+    /// Serializes the array and region counters for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        self.array.snapshot_with(w, |w, e| match e {
+            MgdEntry::Block(entry) => {
+                w.u8(0);
+                entry.snap(w);
+            }
+            MgdEntry::Region { owner, presence } => {
+                w.u8(1);
+                w.u16(owner.0);
+                w.u16(*presence);
+            }
+        });
+        w.u64(self.region_allocs);
+        w.u64(self.region_breakouts);
+    }
+
+    /// Restores a [`MultiGrainDir::snap`] image into this directory, which
+    /// must have the same geometry (freshly built from the same
+    /// configuration).
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on
+    /// geometry mismatch or decode error.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        self.array
+            .restore_with(r, |r| match r.u8("mgd entry tag")? {
+                0 => Ok(MgdEntry::Block(DirEntry::unsnap(r)?)),
+                1 => Ok(MgdEntry::Region {
+                    owner: CoreId(r.u16("mgd region owner")?),
+                    presence: r.u16("mgd region presence")?,
+                }),
+                _ => Err(SnapError::Corrupt {
+                    context: "mgd entry tag",
+                }),
+            })?;
+        self.region_allocs = r.u64("mgd region_allocs")?;
+        self.region_breakouts = r.u64("mgd region_breakouts")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

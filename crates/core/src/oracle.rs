@@ -330,6 +330,76 @@ impl Oracle {
         &self.log
     }
 
+    /// Serializes the audit state that affects behaviour: the transaction
+    /// count (sweep cadence) and the shadow map, in sorted block order so
+    /// the image is deterministic. The event ring buffer is diagnostics
+    /// only and restores empty; the per-transaction stats snapshot is never
+    /// live between transactions and restores to its default.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.u64(self.txns);
+        let mut blocks: Vec<BlockAddr> = self.shadow.keys().copied().collect();
+        blocks.sort_unstable();
+        w.usize(blocks.len());
+        for b in blocks {
+            w.u64(b.0);
+            let sb = &self.shadow[&b];
+            w.usize(sb.holders.len());
+            for h in &sb.holders {
+                w.u128(h.0);
+            }
+            match sb.owner {
+                Some((s, c)) => {
+                    w.bool(true);
+                    w.u8(s.0);
+                    w.u16(c.0);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Restores an [`Oracle::snap`] image into this oracle, which must have
+    /// been freshly built for the same configuration ([`Oracle::new`]).
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on
+    /// decode error or a holder vector sized for a different socket count.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        self.txns = r.u64("oracle txns")?;
+        let n = r.usize("oracle shadow len")?;
+        let mut shadow = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let block = BlockAddr(r.u64("oracle shadow block")?);
+            let holders_len = r.usize("oracle holders len")?;
+            if holders_len != self.sockets {
+                return Err(SnapError::Corrupt {
+                    context: "oracle holders len",
+                });
+            }
+            let mut holders = Vec::with_capacity(holders_len);
+            for _ in 0..holders_len {
+                holders.push(SharerSet(r.u128("oracle holder set")?));
+            }
+            let owner = if r.bool("oracle owner flag")? {
+                Some((
+                    SocketId(r.u8("oracle owner socket")?),
+                    CoreId(r.u16("oracle owner core")?),
+                ))
+            } else {
+                None
+            };
+            shadow.insert(block, ShadowBlock { holders, owner });
+        }
+        self.shadow = shadow;
+        self.log = EventLog::new(LOG_DEPTH);
+        self.snap = StatsSnap::default();
+        Ok(())
+    }
+
     // -- hooks ------------------------------------------------------------
 
     /// Called at the top of `System::access`, before any counter moves.

@@ -242,6 +242,60 @@ impl SecDir {
     pub fn live_entries(&self) -> usize {
         self.shared.len() + self.private.iter().map(|p| p.len()).sum::<usize>()
     }
+
+    /// Serializes all partitions, the residency index, and the eviction
+    /// counters for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        self.shared.snapshot_with(w, |w, e| e.snap(w));
+        w.usize(self.private.len());
+        for part in &self.private {
+            part.snapshot_with(w, |w, p| w.bool(p.owned));
+        }
+        self.index.snapshot_with(w, |w, res| {
+            w.u8(match res {
+                Residency::Shared => 0,
+                Residency::Private => 1,
+            });
+        });
+        w.u64(self.private_evictions);
+        w.u64(self.migrations);
+    }
+
+    /// Restores a [`SecDir::snap`] image into this structure, which must
+    /// have the same geometry (freshly built from the same configuration).
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on
+    /// geometry mismatch or decode error.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        self.shared.restore_with(r, DirEntry::unsnap)?;
+        if r.usize("secdir partition count")? != self.private.len() {
+            return Err(SnapError::Corrupt {
+                context: "secdir partition count",
+            });
+        }
+        for part in self.private.iter_mut() {
+            part.restore_with(r, |r| {
+                Ok(PrivEntry {
+                    owned: r.bool("secdir priv owned")?,
+                })
+            })?;
+        }
+        self.index = FlatMap::restore_with(r, |r| match r.u8("secdir residency")? {
+            0 => Ok(Residency::Shared),
+            1 => Ok(Residency::Private),
+            _ => Err(SnapError::Corrupt {
+                context: "secdir residency",
+            }),
+        })?;
+        self.private_evictions = r.u64("secdir private_evictions")?;
+        self.migrations = r.u64("secdir migrations")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

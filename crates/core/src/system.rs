@@ -160,6 +160,92 @@ impl System {
         }
     }
 
+    /// FNV-1a fingerprint of the machine configuration's canonical `Debug`
+    /// rendering. A checkpoint stores this instead of the configuration
+    /// itself; restore verifies the caller rebuilt the same machine.
+    pub fn config_fingerprint(cfg: &SystemConfig) -> u64 {
+        zerodev_common::snap::fnv1a(format!("{cfg:?}").as_bytes())
+    }
+
+    /// Serializes the complete machine state — stats, every socket's LLC
+    /// banks, directory, and mesh counters, the memory side, and the audit
+    /// oracle when attached — for checkpointing. Structure geometry is not
+    /// written; restore rebuilds it from the configuration (whose
+    /// fingerprint is embedded and verified). All array contents are
+    /// written lane-exact so deterministic state-fault victim selection
+    /// ([`System::inject_state_fault`]) iterates identically after restore.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.u64(Self::config_fingerprint(&self.cfg));
+        self.stats.snap(w);
+        w.usize(self.sockets.len());
+        for s in &self.sockets {
+            w.usize(s.banks.len());
+            for b in &s.banks {
+                b.snap(w);
+            }
+            s.dir.snap(w);
+            s.topo.mesh().snap(w);
+        }
+        self.mem.snap(w);
+        match &self.oracle {
+            Some(o) => {
+                w.bool(true);
+                o.snap(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    /// Restores a [`System::snap`] image into this machine, which must have
+    /// been freshly built ([`System::new`]) from the same configuration.
+    /// The audit oracle is attached or detached to match the image.
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] when the
+    /// configuration fingerprint disagrees or the image is corrupt.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        if r.u64("system config fingerprint")? != Self::config_fingerprint(&self.cfg) {
+            return Err(SnapError::Corrupt {
+                context: "system config fingerprint",
+            });
+        }
+        self.stats = Stats::unsnap(r)?;
+        if r.usize("system socket count")? != self.sockets.len() {
+            return Err(SnapError::Corrupt {
+                context: "system socket count",
+            });
+        }
+        for s in self.sockets.iter_mut() {
+            if r.usize("system bank count")? != s.banks.len() {
+                return Err(SnapError::Corrupt {
+                    context: "system bank count",
+                });
+            }
+            for b in s.banks.iter_mut() {
+                b.unsnap(r)?;
+            }
+            s.dir.unsnap(r)?;
+            s.topo.mesh_mut().unsnap(r)?;
+        }
+        self.mem.unsnap(r)?;
+        if r.bool("system audit flag")? {
+            if self.oracle.is_none() {
+                self.enable_audit();
+            }
+            self.oracle
+                .as_mut()
+                .expect("audit just enabled")
+                .unsnap(r)?;
+        } else {
+            self.oracle = None;
+        }
+        Ok(())
+    }
+
     /// Test-only fault injection: silently drops one sharer from the
     /// directory entry tracking `block` in `socket`, wherever the entry
     /// lives, modelling a lost-sharer protocol bug. Returns false when no

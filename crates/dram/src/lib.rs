@@ -156,6 +156,72 @@ impl DramModel {
     pub fn rw_counts(&self) -> (u64, u64) {
         (self.reads, self.writes)
     }
+
+    /// Serializes the mutable memory-system state — open rows, bank/bus
+    /// occupancy horizons, and the access counters — for checkpointing.
+    /// Geometry and timing are rebuilt from configuration on restore.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.usize(self.channels.len());
+        for ch in &self.channels {
+            w.u64(ch.bus_free.0);
+            w.usize(ch.banks.len());
+            for b in &ch.banks {
+                match b.open_row {
+                    Some(row) => {
+                        w.bool(true);
+                        w.u64(row);
+                    }
+                    None => w.bool(false),
+                }
+                w.u64(b.busy_until.0);
+            }
+        }
+        w.u64(self.row_hits);
+        w.u64(self.row_empty);
+        w.u64(self.row_conflicts);
+        w.u64(self.reads);
+        w.u64(self.writes);
+    }
+
+    /// Restores a [`DramModel::snap`] image into this model, which must have
+    /// the same channel/bank geometry.
+    ///
+    /// # Errors
+    /// Fails with a structural [`zerodev_common::snap::SnapError`] on
+    /// geometry mismatch or decode error.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        if r.usize("dram channel count")? != self.channels.len() {
+            return Err(SnapError::Corrupt {
+                context: "dram channel count",
+            });
+        }
+        for ch in self.channels.iter_mut() {
+            ch.bus_free = Cycle(r.u64("dram bus_free")?);
+            if r.usize("dram bank count")? != ch.banks.len() {
+                return Err(SnapError::Corrupt {
+                    context: "dram bank count",
+                });
+            }
+            for b in ch.banks.iter_mut() {
+                b.open_row = if r.bool("dram open_row flag")? {
+                    Some(r.u64("dram open_row")?)
+                } else {
+                    None
+                };
+                b.busy_until = Cycle(r.u64("dram busy_until")?);
+            }
+        }
+        self.row_hits = r.u64("dram row_hits")?;
+        self.row_empty = r.u64("dram row_empty")?;
+        self.row_conflicts = r.u64("dram row_conflicts")?;
+        self.reads = r.u64("dram reads")?;
+        self.writes = r.u64("dram writes")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

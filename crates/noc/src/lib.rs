@@ -108,6 +108,26 @@ impl Mesh {
     pub fn messages(&self) -> u64 {
         self.messages
     }
+
+    /// Serializes the mutable mesh state (the load counters — geometry and
+    /// timing are rebuilt from configuration) for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.u64(self.byte_hops);
+        w.u64(self.messages);
+    }
+
+    /// Restores a [`Mesh::snap`] image into this mesh.
+    ///
+    /// # Errors
+    /// Propagates decode errors from the snapshot reader.
+    pub fn unsnap(
+        &mut self,
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<(), zerodev_common::snap::SnapError> {
+        self.byte_hops = r.u64("mesh byte_hops")?;
+        self.messages = r.u64("mesh messages")?;
+        Ok(())
+    }
 }
 
 /// Placement of cores, LLC banks, and memory controllers on one socket's

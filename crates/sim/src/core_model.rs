@@ -7,6 +7,7 @@
 //! keeping the directory exact — the protocol relies on this (§III-A).
 
 use zerodev_cache::{Replacement, SetAssoc, SetUndo};
+use zerodev_common::snap::{SnapError, SnapReader, SnapWriter};
 use zerodev_common::{BlockAddr, CoreId, Cycle, MesiState, SocketId, SystemConfig};
 use zerodev_core::{EvictKind, Op, System};
 use zerodev_workloads::MemRef;
@@ -15,6 +16,29 @@ use zerodev_workloads::MemRef;
 #[derive(Clone, Copy, Debug)]
 struct L2Line {
     state: MesiState,
+}
+
+fn mesi_tag(s: MesiState) -> u8 {
+    match s {
+        MesiState::Modified => 0,
+        MesiState::Exclusive => 1,
+        MesiState::Shared => 2,
+        MesiState::Invalid => 3,
+    }
+}
+
+fn mesi_from_tag(tag: u8) -> Result<MesiState, SnapError> {
+    Ok(match tag {
+        0 => MesiState::Modified,
+        1 => MesiState::Exclusive,
+        2 => MesiState::Shared,
+        3 => MesiState::Invalid,
+        _ => {
+            return Err(SnapError::Corrupt {
+                context: "unknown MESI state tag",
+            })
+        }
+    })
 }
 
 /// One reference the sharded engine speculated ahead of the global commit
@@ -182,6 +206,30 @@ impl CoreModel {
     /// Number of valid L2 lines (diagnostics).
     pub fn l2_lines(&self) -> usize {
         self.l2.len()
+    }
+
+    /// Serializes the private hierarchy lane-exactly for checkpointing
+    /// (ids and hit latencies are config-derived and rebuilt by
+    /// [`Self::new`], not stored).
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        self.l1i.snapshot_with(w, |_, ()| {});
+        self.l1d.snapshot_with(w, |_, ()| {});
+        self.l2.snapshot_with(w, |w, l| w.u8(mesi_tag(l.state)));
+    }
+
+    /// Restores a [`Self::snap`] image into this freshly built hierarchy.
+    ///
+    /// # Errors
+    /// Fails with a decode [`SnapError`] on geometry mismatch or corrupt
+    /// input.
+    pub(crate) fn unsnap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
+        self.l1i.restore_with(r, |_| Ok(()))?;
+        self.l1d.restore_with(r, |_| Ok(()))?;
+        self.l2.restore_with(r, |r| {
+            Ok(L2Line {
+                state: mesi_from_tag(r.u8("l2 line state")?)?,
+            })
+        })
     }
 
     /// Processes one memory reference at time `now`, driving the uncore on

@@ -3,19 +3,91 @@
 
 use crate::core_model::{AccessEffects, CoreModel};
 use crate::faults::{FaultConfig, FaultPlan, FaultStats};
+use zerodev_common::snap::{SnapError, SnapReader, SnapWriter};
 use zerodev_common::{CoreId, Cycle, MesiState, MsgClass, SocketId, Stats, SystemConfig};
 use zerodev_core::{InvalReason, System};
 use zerodev_workloads::{Workload, WorkloadKind};
 
 /// Cycles a core may go without retiring a reference before the watchdog
-/// declares the run stalled. Legitimate per-reference latency is bounded by
-/// a few thousand cycles (DRAM queueing included), so a million-cycle
-/// silence is a livelock/deadlock, never a slow access.
-pub(crate) const WATCHDOG_HORIZON: u64 = 1_000_000;
+/// declares the run stalled ([`Watchdog::horizon`] default). Legitimate
+/// per-reference latency is bounded by a few thousand cycles (DRAM queueing
+/// included), so a million-cycle silence is a livelock/deadlock, never a
+/// slow access.
+pub const DEFAULT_WATCHDOG_HORIZON: u64 = 1_000_000;
 
-/// References between watchdog scans of the per-core heartbeats (keeps the
-/// check O(1) amortised per reference).
-pub(crate) const WATCHDOG_PERIOD: u64 = 4_096;
+/// References between watchdog scans of the per-core heartbeats
+/// ([`Watchdog::period`] default; keeps the check O(1) amortised per
+/// reference).
+pub const DEFAULT_WATCHDOG_PERIOD: u64 = 4_096;
+
+/// The forward-progress watchdog's tuning knobs. Shared by the serial loop
+/// and the sharded commit walker so a configured horizon applies to both;
+/// the watchdog only reads the event stream, so results are byte-identical
+/// at any setting that does not fire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Watchdog {
+    /// Cycles of per-core heartbeat silence that declare a stall.
+    pub(crate) horizon: u64,
+    /// References between heartbeat scans (>= 1).
+    pub(crate) period: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog {
+            horizon: DEFAULT_WATCHDOG_HORIZON,
+            period: DEFAULT_WATCHDOG_PERIOD,
+        }
+    }
+}
+
+impl Watchdog {
+    /// One scan point of the event loop: every [`Self::period`] pops, find
+    /// the least-recently-retiring core and declare a stall if its
+    /// heartbeat silence exceeds [`Self::horizon`].
+    #[inline]
+    pub(crate) fn check(&self, pops: u64, now: u64, last_retire: &[u64]) -> Result<(), SimError> {
+        if pops.is_multiple_of(self.period) {
+            let (lag, &seen) = last_retire
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &s)| s)
+                .expect("at least one core");
+            if now.saturating_sub(seen) > self.horizon {
+                return Err(SimError::Stalled {
+                    core: lag,
+                    cycle: now,
+                    last_event: format!(
+                        "no retirement since cycle {seen} (heartbeat horizon {horizon})",
+                        horizon = self.horizon
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the knobs for checkpointing.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.horizon);
+        w.u64(self.period);
+    }
+
+    /// Inverse of [`Self::snap`].
+    ///
+    /// # Errors
+    /// Fails with a decode [`SnapError`] on truncated or corrupt input.
+    pub(crate) fn unsnap(r: &mut SnapReader) -> Result<Watchdog, SnapError> {
+        let horizon = r.u64("watchdog horizon")?;
+        let period = r.u64("watchdog period")?;
+        if period == 0 {
+            return Err(SnapError::Corrupt {
+                context: "watchdog period must be nonzero",
+            });
+        }
+        Ok(Watchdog { horizon, period })
+    }
+}
 
 /// Packs an event as `(time << 32) | core` so that plain integer order is
 /// exactly lexicographic `(time, core)` order. `u128` keys keep the packing
@@ -81,6 +153,35 @@ impl EventQueue {
             self.keys.swap(i, c);
             i = c;
         }
+    }
+
+    /// Serializes the raw heap lanes for checkpointing. The heap's array
+    /// layout (not just its contents) is captured: sift order after resume
+    /// must match an uninterrupted run event-for-event.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.keys.len());
+        for &k in &self.keys {
+            w.u128(k);
+        }
+    }
+
+    /// Inverse of [`Self::snap`]; `cores` is the expected heap size.
+    ///
+    /// # Errors
+    /// Fails with a decode [`SnapError`] on truncated or corrupt input, or
+    /// when the image's heap size does not match `cores`.
+    pub(crate) fn unsnap(r: &mut SnapReader, cores: usize) -> Result<EventQueue, SnapError> {
+        let len = r.usize("event queue len")?;
+        if len != cores {
+            return Err(SnapError::Corrupt {
+                context: "event queue size does not match the machine",
+            });
+        }
+        let mut keys = Vec::with_capacity(len);
+        for _ in 0..len {
+            keys.push(r.u128("event queue key")?);
+        }
+        Ok(EventQueue { keys })
     }
 }
 
@@ -370,6 +471,9 @@ pub struct Simulation {
     workload: Workload,
     /// Deterministic fault plan; `None` (the default) is zero-cost-off.
     faults: Option<Box<FaultPlan>>,
+    /// Forward-progress watchdog tuning (defaults match the historical
+    /// constants, so untouched runs are byte-identical).
+    watchdog: Watchdog,
 }
 
 impl Simulation {
@@ -403,6 +507,7 @@ impl Simulation {
             cores,
             workload,
             faults: None,
+            watchdog: Watchdog::default(),
         }
     }
 
@@ -414,9 +519,62 @@ impl Simulation {
         self.faults = Some(Box::new(FaultPlan::new(cfg)));
     }
 
+    /// Tunes the forward-progress watchdog: `horizon` cycles of per-core
+    /// heartbeat silence declare a stall, scanned every `period` references
+    /// (`period` is clamped to at least 1). The watchdog only reads the
+    /// event stream, so any setting that does not fire leaves results
+    /// byte-identical to the defaults ([`DEFAULT_WATCHDOG_HORIZON`],
+    /// [`DEFAULT_WATCHDOG_PERIOD`]).
+    pub fn set_watchdog(&mut self, horizon: u64, period: u64) {
+        self.watchdog = Watchdog {
+            horizon,
+            period: period.max(1),
+        };
+    }
+
     /// Read access to the protocol engine (diagnostics).
     pub fn system(&self) -> &System {
         &self.sys
+    }
+
+    /// Mutable engine access for checkpoint restoration.
+    pub(crate) fn system_mut(&mut self) -> &mut System {
+        &mut self.sys
+    }
+
+    /// The core models (checkpoint serialization).
+    pub(crate) fn cores(&self) -> &[CoreModel] {
+        &self.cores
+    }
+
+    /// Mutable core models for checkpoint restoration.
+    pub(crate) fn cores_mut(&mut self) -> &mut [CoreModel] {
+        &mut self.cores
+    }
+
+    /// The workload generators (checkpoint serialization).
+    pub(crate) fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The fault plan, if armed (checkpoint serialization).
+    pub(crate) fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref()
+    }
+
+    /// Installs an already-built fault plan (checkpoint restoration).
+    pub(crate) fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(plan));
+    }
+
+    /// The watchdog tuning (checkpoint serialization).
+    pub(crate) fn watchdog(&self) -> Watchdog {
+        self.watchdog
+    }
+
+    /// Installs watchdog tuning verbatim (checkpoint restoration).
+    pub(crate) fn set_watchdog_raw(&mut self, wd: Watchdog) {
+        self.watchdog = wd;
     }
 
     /// Turns on the coherence-invariant oracle (`zerodev_core::oracle`):
@@ -504,7 +662,22 @@ impl Simulation {
     /// within the watchdog horizon, and NACKed flows get a bounded retry
     /// budget. The watchdog only reads the event stream — armed or not,
     /// results are byte-identical.
-    pub fn try_run(mut self, refs_per_core: u64, warmup_refs: u64) -> Result<SimResult, SimError> {
+    ///
+    /// Implemented as [`Self::start`] + a single unbounded
+    /// [`PausedRun::advance`] + [`PausedRun::finish`], so the whole-run and
+    /// incremental (checkpointable) paths share one event-loop body.
+    pub fn try_run(self, refs_per_core: u64, warmup_refs: u64) -> Result<SimResult, SimError> {
+        let mut run = self.start(refs_per_core, warmup_refs);
+        run.advance(u64::MAX)?;
+        Ok(run.finish())
+    }
+
+    /// Executes the warm-up phase, resets the statistics, and returns the
+    /// measured region as a [`PausedRun`] positioned at its first
+    /// reference. Advance it in bounded steps ([`PausedRun::advance`]) —
+    /// checkpointing at any pause boundary — and seal it with
+    /// [`PausedRun::finish`].
+    pub fn start(mut self, refs_per_core: u64, warmup_refs: u64) -> PausedRun {
         let n = self.cores.len();
         // One effects buffer for the whole run: `access_into` clears and
         // refills it, `apply_effects` drains it.
@@ -529,81 +702,12 @@ impl Simulation {
         fresh.dir_live_entries_max = fresh.dir_live_entries;
         self.sys.stats = fresh;
 
-        let mut queue = EventQueue::new(n);
-        let mut refs_done = vec![0u64; n];
-        let mut instrs = vec![0u64; n];
-        let mut core_cycles = vec![0u64; n];
-        let mut core_instrs = vec![0u64; n];
-        let mut finished = 0usize;
-        // Watchdog state: the cycle each core last retired a reference.
-        let mut last_retire = vec![0u64; n];
-        let mut pops = 0u64;
-
-        loop {
-            let (now, t) = queue.peek_min();
-            pops += 1;
-            if pops.is_multiple_of(WATCHDOG_PERIOD) {
-                let (lag, &seen) = last_retire
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(_, &s)| s)
-                    .expect("at least one core");
-                if now.saturating_sub(seen) > WATCHDOG_HORIZON {
-                    return Err(SimError::Stalled {
-                        core: lag,
-                        cycle: now,
-                        last_event: format!(
-                            "no retirement since cycle {seen} (heartbeat horizon {WATCHDOG_HORIZON})"
-                        ),
-                    });
-                }
-            }
-            let r = self.workload.threads[t].next_ref();
-            let mlp = self.workload.threads[t].spec().mlp;
-            let issue = now + u64::from(r.gap);
-            let draw = self
-                .faults
-                .as_deref_mut()
-                .map(crate::faults::FaultPlan::draw);
-            if let Some(d) = draw {
-                self.fault_pre(t, issue, r.block, d)?;
-            }
-            self.cores[t].access_into(&mut self.sys, Cycle(issue), r, &mut fx);
-            let lat = self.apply_effects(Cycle(issue), &mut fx, mlp);
-            let done = issue + lat;
-            if let Some(d) = draw {
-                self.fault_post(t, done, r.block, d);
-            }
-            instrs[t] += u64::from(r.gap) + 1;
-            refs_done[t] += 1;
-            last_retire[t] = done;
-            if refs_done[t] == refs_per_core {
-                core_cycles[t] = done;
-                core_instrs[t] = instrs[t];
-                finished += 1;
-                if finished == n {
-                    break;
-                }
-            }
-            queue.replace_min(done, t);
+        PausedRun {
+            st: EngineState::new(n),
+            sim: self,
+            refs_per_core,
+            fx,
         }
-
-        // A final exhaustive pass over every shadow-tracked block before
-        // the statistics are frozen (no-op unless auditing).
-        self.sys.audit_sweep();
-
-        let (dr, dw) = self.sys.memory().dram_counts();
-        Ok(SimResult {
-            name: self.workload.name.clone(),
-            kind: self.workload.kind,
-            stats: self.sys.stats.clone(),
-            completion_cycles: core_cycles.iter().copied().max().unwrap_or(0),
-            refs_retired: pops,
-            core_cycles,
-            core_instrs,
-            dram_rw: (dr, dw),
-            faults: self.faults.take().map(|p| p.stats).unwrap_or_default(),
-        })
     }
 
     /// [`Self::run`] with the deterministic sharded driver
@@ -636,8 +740,239 @@ impl Simulation {
     }
 
     /// Decomposes the simulation into the parts the sharded driver owns.
-    pub(crate) fn into_parts(self) -> (System, Vec<CoreModel>, Workload, Option<Box<FaultPlan>>) {
-        (self.sys, self.cores, self.workload, self.faults)
+    #[allow(clippy::type_complexity)] // one caller; naming the tuple would only add indirection
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        System,
+        Vec<CoreModel>,
+        Workload,
+        Option<Box<FaultPlan>>,
+        Watchdog,
+    ) {
+        (
+            self.sys,
+            self.cores,
+            self.workload,
+            self.faults,
+            self.watchdog,
+        )
+    }
+}
+
+/// The mutable state of the measured-region event loop, separated from the
+/// machine ([`Simulation`]) so a paused run can serialize both halves into
+/// one checkpoint image.
+#[derive(Debug)]
+pub(crate) struct EngineState {
+    /// Pending `(time, core)` events, one per core.
+    pub(crate) queue: EventQueue,
+    /// References retired per core this region.
+    pub(crate) refs_done: Vec<u64>,
+    /// Instructions retired per core (gap instructions + the reference).
+    pub(crate) instrs: Vec<u64>,
+    /// Per-core completion cycle, latched when the core hits its target.
+    pub(crate) core_cycles: Vec<u64>,
+    /// Per-core instruction count, latched with [`Self::core_cycles`].
+    pub(crate) core_instrs: Vec<u64>,
+    /// Cores that reached their reference target.
+    pub(crate) finished: usize,
+    /// Watchdog state: the cycle each core last retired a reference.
+    pub(crate) last_retire: Vec<u64>,
+    /// Event-loop pops (= total references retired across all cores).
+    pub(crate) pops: u64,
+}
+
+impl EngineState {
+    fn new(n: usize) -> Self {
+        EngineState {
+            queue: EventQueue::new(n),
+            refs_done: vec![0; n],
+            instrs: vec![0; n],
+            core_cycles: vec![0; n],
+            core_instrs: vec![0; n],
+            finished: 0,
+            last_retire: vec![0; n],
+            pops: 0,
+        }
+    }
+
+    /// Serializes the loop state for checkpointing.
+    pub(crate) fn snap(&self, w: &mut SnapWriter) {
+        self.queue.snap(w);
+        for lane in [
+            &self.refs_done,
+            &self.instrs,
+            &self.core_cycles,
+            &self.core_instrs,
+            &self.last_retire,
+        ] {
+            for &v in lane.iter() {
+                w.u64(v);
+            }
+        }
+        w.usize(self.finished);
+        w.u64(self.pops);
+    }
+
+    /// Inverse of [`Self::snap`]; `cores` is the machine's core count.
+    ///
+    /// # Errors
+    /// Fails with a decode [`SnapError`] on truncated or corrupt input, or
+    /// when the image does not match a `cores`-core machine.
+    pub(crate) fn unsnap(r: &mut SnapReader, cores: usize) -> Result<EngineState, SnapError> {
+        let queue = EventQueue::unsnap(r, cores)?;
+        let mut lanes: [Vec<u64>; 5] = Default::default();
+        for lane in &mut lanes {
+            *lane = (0..cores)
+                .map(|_| r.u64("engine per-core lane"))
+                .collect::<Result<_, _>>()?;
+        }
+        let [refs_done, instrs, core_cycles, core_instrs, last_retire] = lanes;
+        let finished = r.usize("engine finished count")?;
+        if finished > cores {
+            return Err(SnapError::Corrupt {
+                context: "finished count exceeds the core count",
+            });
+        }
+        let pops = r.u64("engine pops")?;
+        Ok(EngineState {
+            queue,
+            refs_done,
+            instrs,
+            core_cycles,
+            core_instrs,
+            finished,
+            last_retire,
+            pops,
+        })
+    }
+}
+
+/// What a bounded [`PausedRun::advance`] observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// Every core reached its reference target; call
+    /// [`PausedRun::finish`].
+    Finished,
+    /// The step budget ran out first; the run can be advanced further,
+    /// checkpointed, or abandoned.
+    Paused,
+}
+
+/// A measured region in flight, pausable between any two references.
+///
+/// Produced by [`Simulation::start`] (or by restoring a checkpoint, see
+/// `crate::checkpoint`). The loop body here is *the* serial event loop —
+/// [`Simulation::try_run`] is a single unbounded advance — so pausing,
+/// checkpointing, and resuming cannot drift from an uninterrupted run.
+#[derive(Debug)]
+pub struct PausedRun {
+    pub(crate) sim: Simulation,
+    pub(crate) st: EngineState,
+    pub(crate) refs_per_core: u64,
+    /// Reusable effects buffer; empty at every pause boundary (each step
+    /// clears and then drains it), so checkpoints never serialize it.
+    pub(crate) fx: AccessEffects,
+}
+
+impl PausedRun {
+    /// Executes up to `max_steps` references of the global event order.
+    ///
+    /// Returns [`RunStatus::Finished`] once every core has retired its
+    /// target (further calls are no-ops), [`RunStatus::Paused`] when the
+    /// step budget ran out first.
+    ///
+    /// # Errors
+    /// [`SimError::Stalled`] when the forward-progress watchdog fires or a
+    /// NACK storm exhausts the retry budget. The run remains intact — it
+    /// can still be checkpointed for post-mortem replay — but advancing
+    /// further will re-examine the same stalled event.
+    pub fn advance(&mut self, max_steps: u64) -> Result<RunStatus, SimError> {
+        let n = self.sim.cores.len();
+        if self.st.finished == n {
+            return Ok(RunStatus::Finished);
+        }
+        let st = &mut self.st;
+        let sim = &mut self.sim;
+        for _ in 0..max_steps {
+            let (now, t) = st.queue.peek_min();
+            st.pops += 1;
+            sim.watchdog.check(st.pops, now, &st.last_retire)?;
+            let r = sim.workload.threads[t].next_ref();
+            let mlp = sim.workload.threads[t].spec().mlp;
+            let issue = now + u64::from(r.gap);
+            let draw = sim
+                .faults
+                .as_deref_mut()
+                .map(crate::faults::FaultPlan::draw);
+            if let Some(d) = draw {
+                sim.fault_pre(t, issue, r.block, d)?;
+            }
+            sim.cores[t].access_into(&mut sim.sys, Cycle(issue), r, &mut self.fx);
+            let lat = sim.apply_effects(Cycle(issue), &mut self.fx, mlp);
+            let done = issue + lat;
+            if let Some(d) = draw {
+                sim.fault_post(t, done, r.block, d);
+            }
+            st.instrs[t] += u64::from(r.gap) + 1;
+            st.refs_done[t] += 1;
+            st.last_retire[t] = done;
+            if st.refs_done[t] == self.refs_per_core {
+                st.core_cycles[t] = done;
+                st.core_instrs[t] = st.instrs[t];
+                st.finished += 1;
+                if st.finished == n {
+                    return Ok(RunStatus::Finished);
+                }
+            }
+            st.queue.replace_min(done, t);
+        }
+        Ok(RunStatus::Paused)
+    }
+
+    /// Seals the run: the final audit sweep (no-op unless auditing) and the
+    /// assembled [`SimResult`]. Normally called after
+    /// [`RunStatus::Finished`]; calling earlier freezes whatever has been
+    /// retired so far (per-core completion data is zero for unfinished
+    /// cores).
+    pub fn finish(mut self) -> SimResult {
+        // A final exhaustive pass over every shadow-tracked block before
+        // the statistics are frozen (no-op unless auditing).
+        self.sim.sys.audit_sweep();
+
+        let (dr, dw) = self.sim.sys.memory().dram_counts();
+        SimResult {
+            name: self.sim.workload.name.clone(),
+            kind: self.sim.workload.kind,
+            stats: self.sim.sys.stats.clone(),
+            completion_cycles: self.st.core_cycles.iter().copied().max().unwrap_or(0),
+            refs_retired: self.st.pops,
+            core_cycles: self.st.core_cycles,
+            core_instrs: self.st.core_instrs,
+            dram_rw: (dr, dw),
+            faults: self.sim.faults.take().map(|p| p.stats).unwrap_or_default(),
+        }
+    }
+
+    /// True once every core has retired its reference target.
+    pub fn is_finished(&self) -> bool {
+        self.st.finished == self.sim.cores.len()
+    }
+
+    /// References retired so far across all cores (event-loop pops).
+    pub fn refs_retired(&self) -> u64 {
+        self.st.pops
+    }
+
+    /// The per-core reference target this run was started with.
+    pub fn refs_per_core(&self) -> u64 {
+        self.refs_per_core
+    }
+
+    /// Read access to the protocol engine (diagnostics).
+    pub fn system(&self) -> &System {
+        &self.sim.sys
     }
 }
 

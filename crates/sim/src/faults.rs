@@ -22,8 +22,30 @@
 //! takes one `None` branch per reference and produces byte-identical
 //! output to a build without the module.
 
+use zerodev_common::snap::{SnapError, SnapReader, SnapWriter};
 use zerodev_common::Prng;
 pub use zerodev_core::StateFault;
+
+fn fault_tag(k: StateFault) -> u8 {
+    match k {
+        StateFault::SharerFlip => 0,
+        StateFault::LlcEntryCorrupt => 1,
+        StateFault::HomeSegmentFlip => 2,
+    }
+}
+
+fn fault_from_tag(tag: u8) -> Result<StateFault, SnapError> {
+    Ok(match tag {
+        0 => StateFault::SharerFlip,
+        1 => StateFault::LlcEntryCorrupt,
+        2 => StateFault::HomeSegmentFlip,
+        _ => {
+            return Err(SnapError::Corrupt {
+                context: "unknown state-fault tag",
+            })
+        }
+    })
+}
 
 /// Parts-per-million probability bound (1.0).
 pub const PPM: u32 = 1_000_000;
@@ -286,6 +308,112 @@ impl FaultPlan {
         self.armed = None;
         self.stats.corruptions += 1;
         self.stats.injected.push(desc);
+    }
+
+    /// Serializes the whole plan — config, PRNG state, draw cursor, armed
+    /// corruption, and accumulated stats — for checkpointing. A restored
+    /// plan continues the exact fault sequence of the original.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.cfg.seed);
+        w.u32(self.cfg.nack_ppm);
+        w.u32(self.cfg.nack_len);
+        w.u32(self.cfg.retry_budget);
+        w.u64(self.cfg.backoff_base);
+        w.u64(self.cfg.backoff_cap);
+        w.u32(self.cfg.delay_ppm);
+        w.u64(self.cfg.delay_cycles);
+        w.u32(self.cfg.dup_ppm);
+        match self.cfg.corrupt {
+            None => w.bool(false),
+            Some((kind, at)) => {
+                w.bool(true);
+                w.u8(fault_tag(kind));
+                w.u64(at);
+            }
+        }
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.u64(self.accesses);
+        match self.armed {
+            None => w.bool(false),
+            Some(kind) => {
+                w.bool(true);
+                w.u8(fault_tag(kind));
+            }
+        }
+        w.u64(self.stats.nack_storms);
+        w.u64(self.stats.nacks);
+        w.u64(self.stats.backoff_cycles);
+        w.u64(self.stats.delayed);
+        w.u64(self.stats.delay_cycles);
+        w.u64(self.stats.duplicates);
+        w.u64(self.stats.duplicates_stale);
+        w.u64(self.stats.corruptions);
+        w.u64(self.stats.phantom_noc_cycles);
+        w.usize(self.stats.injected.len());
+        for desc in &self.stats.injected {
+            w.str(desc);
+        }
+    }
+
+    /// Inverse of [`Self::snap`].
+    ///
+    /// # Errors
+    /// Fails with a decode [`SnapError`] on truncated or corrupt input.
+    pub fn unsnap(r: &mut SnapReader) -> Result<FaultPlan, SnapError> {
+        let mut cfg = FaultConfig {
+            seed: r.u64("fault seed")?,
+            nack_ppm: r.u32("fault nack ppm")?,
+            nack_len: r.u32("fault nack len")?,
+            retry_budget: r.u32("fault retry budget")?,
+            backoff_base: r.u64("fault backoff base")?,
+            backoff_cap: r.u64("fault backoff cap")?,
+            delay_ppm: r.u32("fault delay ppm")?,
+            delay_cycles: r.u64("fault delay cycles")?,
+            dup_ppm: r.u32("fault dup ppm")?,
+            corrupt: None,
+        };
+        if r.bool("fault corrupt flag")? {
+            let kind = fault_from_tag(r.u8("fault corrupt kind")?)?;
+            cfg.corrupt = Some((kind, r.u64("fault corrupt index")?));
+        }
+        let rng = Prng::from_state([
+            r.u64("fault rng state")?,
+            r.u64("fault rng state")?,
+            r.u64("fault rng state")?,
+            r.u64("fault rng state")?,
+        ]);
+        let accesses = r.u64("fault accesses")?;
+        let armed = r
+            .bool("fault armed flag")?
+            .then(|| fault_from_tag(r.u8("fault armed kind")?))
+            .transpose()?;
+        let mut stats = FaultStats {
+            nack_storms: r.u64("fault stat")?,
+            nacks: r.u64("fault stat")?,
+            backoff_cycles: r.u64("fault stat")?,
+            delayed: r.u64("fault stat")?,
+            delay_cycles: r.u64("fault stat")?,
+            duplicates: r.u64("fault stat")?,
+            duplicates_stale: r.u64("fault stat")?,
+            corruptions: r.u64("fault stat")?,
+            phantom_noc_cycles: r.u64("fault stat")?,
+            injected: Vec::new(),
+        };
+        let n = r.usize("fault injected count")?;
+        for _ in 0..n {
+            stats
+                .injected
+                .push(r.str("fault injected desc")?.to_owned());
+        }
+        Ok(FaultPlan {
+            cfg,
+            rng,
+            accesses,
+            armed,
+            stats,
+        })
     }
 }
 

@@ -18,6 +18,9 @@
 //! * [`faults`] — deterministic fault injection (`ZERODEV_FAULTS`): seeded
 //!   state corruption the oracle must catch, and message-level faults the
 //!   protocol must absorb without statistics divergence.
+//! * [`checkpoint`] — deterministic checkpoint/resume: a paused run
+//!   serializes to a versioned, checksummed image and restores into a run
+//!   that continues byte-identically to the uninterrupted original.
 //! * `shard` — deterministic intra-run parallelism (`ZERODEV_SHARDS`):
 //!   cores are partitioned into shards that speculate private-hierarchy
 //!   work on worker threads between epoch barriers, while a serial walker
@@ -37,6 +40,7 @@
 //! assert!(res.completion_cycles > 0);
 //! ```
 
+pub mod checkpoint;
 pub mod core_model;
 pub mod energy;
 pub mod engine;
@@ -45,7 +49,7 @@ pub mod parallel;
 pub mod runner;
 mod shard;
 
-pub use engine::{SimError, SimResult, Simulation};
+pub use engine::{PausedRun, RunStatus, SimError, SimResult, Simulation};
 pub use faults::{FaultConfig, FaultPlan, FaultStats, StateFault};
 pub use parallel::{Engine, JobOutcome, PointResult, RunJob, WorkloadMaker};
 pub use runner::{run, RunParams};

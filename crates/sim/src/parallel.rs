@@ -240,6 +240,19 @@ fn failures_cell() -> &'static Mutex<Vec<String>> {
     FAILURES.get_or_init(|| Mutex::new(Vec::new()))
 }
 
+fn context_cell() -> &'static Mutex<Option<String>> {
+    static CONTEXT: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    CONTEXT.get_or_init(|| Mutex::new(None))
+}
+
+/// Names the sweep currently running (e.g. the figure), so an isolated
+/// point failure can say *which figure's grid* it degraded. The figure
+/// harness sets this before each figure body and clears it after; `None`
+/// clears it.
+pub fn set_sweep_context(label: Option<&str>) {
+    *lock_recover(context_cell()) = label.map(str::to_string);
+}
+
 /// Every isolated point failure since process start (or the last
 /// [`reset_failures`]), in the order workers hit them. The figure harness
 /// prints this as the degraded-sweep summary.
@@ -264,13 +277,28 @@ fn record(executed: bool, sim_cycles: u64, refs_retired: u64, wall: Duration) {
     }
 }
 
-/// Registers one isolated failure and builds its outcome.
+/// Registers one isolated failure and builds its outcome. The description
+/// names the sweep ([`set_sweep_context`], typically the figure), the
+/// workload, the config point, the seed and run length, and carries the
+/// panic/`SimError` payload — everything the degraded-sweep summary needs
+/// to reproduce the point.
 fn fail_outcome(job: &RunJob, workload: Option<&str>, msg: String, t0: Instant) -> JobOutcome {
+    let ctx = lock_recover(context_cell())
+        .as_deref()
+        .map(|c| format!("[{c}] "))
+        .unwrap_or_default();
     let desc = format!(
-        "{} on config {:016x} (seed {:#x}): {msg}",
+        "{ctx}{} on config {:016x} (seed {:#x}, {} refs/core{}{}): {msg}",
         workload.unwrap_or("<workload construction>"),
         job.cfg.fingerprint(),
-        job.seed
+        job.seed,
+        job.params.refs_per_core,
+        if job.params.audit { ", audited" } else { "" },
+        if job.params.faults.is_some() {
+            ", faults armed"
+        } else {
+            ""
+        },
     );
     lock_recover(failures_cell()).push(desc.clone());
     lock_recover(summary_cell()).failed += 1;
@@ -530,6 +558,36 @@ mod tests {
         assert_eq!(registry.len(), 1);
         assert_eq!(registry[0], msg);
         assert_eq!(summary().failed - before.failed, 1);
+        reset_failures();
+    }
+
+    #[test]
+    fn failure_description_names_context_point_and_payload() {
+        let _g = lock();
+        reset_failures();
+        let seed = 0x51ee_d00d_0006;
+        let mut bad = job("bodytrack", seed, false);
+        bad.params.audit = true;
+        bad.make = Arc::new(|| panic!("synthetic oracle violation"));
+        set_sweep_context(Some("Figure 12"));
+        let outs = Engine::new(1).run_grid(std::slice::from_ref(&bad));
+        set_sweep_context(None);
+        let msg = outs[0].run.failure().expect("failure message").to_string();
+        let fingerprint = format!("{:016x}", bad.cfg.fingerprint());
+        for needle in [
+            "[Figure 12]",
+            &fingerprint,
+            "0x51eed00d0006",
+            "2000 refs/core",
+            "audited",
+            "synthetic oracle violation",
+        ] {
+            assert!(msg.contains(needle), "missing `{needle}` in: {msg}");
+        }
+        // Cleared context leaves no stale figure label on later failures.
+        let outs = Engine::new(1).run_grid(std::slice::from_ref(&bad));
+        let msg = outs[0].run.failure().expect("failure message");
+        assert!(!msg.contains("[Figure 12]"), "stale context in: {msg}");
         reset_failures();
     }
 

@@ -51,7 +51,7 @@ use std::sync::mpsc;
 use crate::core_model::{AccessEffects, CoreModel, ModelUndo, SpecEntry};
 use crate::engine::{
     apply_effects_via, fault_post_at, fault_pre_at, EffectSink, EventQueue, SimError, SimResult,
-    Simulation, WATCHDOG_HORIZON, WATCHDOG_PERIOD,
+    Simulation,
 };
 use crate::faults::FaultPlan;
 use zerodev_common::{BlockAddr, CoreId, Cycle, MesiState, SocketId, Stats, SystemConfig};
@@ -347,7 +347,7 @@ fn run_with(
     shards: usize,
     transport: Transport,
 ) -> Result<SimResult, SimError> {
-    let (mut sys, cores, workload, mut faults) = sim.into_parts();
+    let (mut sys, cores, workload, mut faults, watchdog) = sim.into_parts();
     let n = cores.len();
     debug_assert!(shards >= 2 && shards <= n);
     let geom = Geom::of(sys.config());
@@ -466,23 +466,7 @@ fn run_with(
             while live_cores < n {
                 let (now, t) = queue.peek_min();
                 pops += 1;
-                if pops.is_multiple_of(WATCHDOG_PERIOD) {
-                    let (lag, &seen) = last_retire
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|&(_, &s)| s)
-                        .expect("at least one core");
-                    if now.saturating_sub(seen) > WATCHDOG_HORIZON {
-                        return Err(SimError::Stalled {
-                            core: lag,
-                            cycle: now,
-                            last_event: format!(
-                                "no retirement since cycle {seen} \
-                                 (heartbeat horizon {WATCHDOG_HORIZON})"
-                            ),
-                        });
-                    }
-                }
+                watchdog.check(pops, now, &last_retire)?;
                 let slot = &mut slots[t];
                 if !slot.lane.live {
                     if slot.lane.committed < slot.lane.entries.len() {

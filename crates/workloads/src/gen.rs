@@ -18,6 +18,32 @@ pub struct MemRef {
     pub gap: u32,
 }
 
+impl MemRef {
+    /// Serializes the reference for checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.u64(self.block.0);
+        w.bool(self.write);
+        w.bool(self.code);
+        w.u32(self.gap);
+    }
+
+    /// Decodes a [`MemRef::snap`] image.
+    ///
+    /// # Errors
+    /// Fails with a decode [`zerodev_common::snap::SnapError`] on truncated
+    /// or corrupt input.
+    pub fn unsnap(
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<MemRef, zerodev_common::snap::SnapError> {
+        Ok(MemRef {
+            block: BlockAddr(r.u64("memref block")?),
+            write: r.bool("memref write")?,
+            code: r.bool("memref code")?,
+            gap: r.u32("memref gap")?,
+        })
+    }
+}
+
 /// How a workload's performance is summarised.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum WorkloadKind {
@@ -51,6 +77,11 @@ pub struct ThreadGen {
     z_srw: Option<Zipf>,
     z_code: Option<Zipf>,
     walk: u64,
+    /// Torture references drawn so far (drives phase/rotation schedules).
+    tstep: u64,
+    /// `(index, count)` position among the workload's threads; torture
+    /// patterns use it to assign roles (writer lane, rotation offset).
+    lane: (u32, u32),
     replay: Option<(Vec<MemRef>, usize)>,
 }
 
@@ -65,8 +96,15 @@ impl ThreadGen {
             z_srw: (spec.srw_blocks > 0).then(|| Zipf::new(spec.srw_blocks, 0.3)),
             z_code: (spec.code_blocks > 0).then(|| Zipf::new(spec.code_blocks, 0.4)),
             walk: 0,
+            tstep: 0,
+            lane: (0, 1),
             replay: None,
         }
+    }
+
+    fn with_lane(mut self, index: usize, count: usize) -> Self {
+        self.lane = (index as u32, count.max(1) as u32);
+        self
     }
 
     /// A generator that replays a recorded reference sequence, wrapping
@@ -101,6 +139,20 @@ impl ThreadGen {
             let r = refs[*pos];
             *pos = (*pos + 1) % refs.len();
             return r;
+        }
+        if let Some(kind) = self.spec.torture {
+            let step = self.tstep;
+            self.tstep += 1;
+            return crate::torture::draw(
+                kind,
+                &self.spec,
+                &mut self.rng,
+                &mut self.walk,
+                step,
+                self.lane,
+                self.bases.srw,
+                self.bases.private,
+            );
         }
         let gap = self.rng.below(u64::from(2 * self.spec.mean_gap) + 1) as u32;
         let r = self.rng.unit_f64();
@@ -153,6 +205,93 @@ impl ThreadGen {
             gap,
         }
     }
+
+    /// Serializes the generator for checkpointing: the spec *name* (the
+    /// parameter vector is re-derived via [`lookup`] on restore), region
+    /// bases, PRNG state, walk/torture cursors, lane, and — for replay
+    /// generators — the full recorded stream and position.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.str(self.spec.name);
+        match &self.replay {
+            Some((refs, pos)) => {
+                w.bool(true);
+                w.usize(refs.len());
+                for r in refs {
+                    r.snap(w);
+                }
+                w.usize(*pos);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.bases.code);
+        w.u64(self.bases.sro);
+        w.u64(self.bases.srw);
+        w.u64(self.bases.private);
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.u64(self.walk);
+        w.u64(self.tstep);
+        w.u32(self.lane.0);
+        w.u32(self.lane.1);
+    }
+
+    /// Decodes a [`ThreadGen::snap`] image. Zipf samplers are rebuilt from
+    /// the looked-up spec; the PRNG resumes from its serialized state.
+    ///
+    /// # Errors
+    /// Fails with a [`zerodev_common::snap::SnapError`] on decode error or
+    /// an unknown workload name.
+    pub fn unsnap(
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<ThreadGen, zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        let name = r.str("threadgen spec name")?.to_string();
+        let replay = if r.bool("threadgen replay flag")? {
+            let n = r.usize("threadgen replay len")?;
+            if n == 0 {
+                return Err(SnapError::Corrupt {
+                    context: "threadgen replay len",
+                });
+            }
+            let mut refs = Vec::with_capacity(n);
+            for _ in 0..n {
+                refs.push(MemRef::unsnap(r)?);
+            }
+            let pos = r.usize("threadgen replay pos")?;
+            if pos >= n {
+                return Err(SnapError::Corrupt {
+                    context: "threadgen replay pos",
+                });
+            }
+            Some((refs, pos))
+        } else {
+            None
+        };
+        let spec = if replay.is_some() {
+            WorkloadSpec::trace_default()
+        } else {
+            lookup(&name).ok_or(SnapError::Corrupt {
+                context: "threadgen spec name",
+            })?
+        };
+        let bases = Bases {
+            code: r.u64("threadgen base code")?,
+            sro: r.u64("threadgen base sro")?,
+            srw: r.u64("threadgen base srw")?,
+            private: r.u64("threadgen base private")?,
+        };
+        let mut state = [0u64; 4];
+        for s in state.iter_mut() {
+            *s = r.u64("threadgen rng state")?;
+        }
+        let mut g = ThreadGen::new(spec, bases, Prng::from_state(state));
+        g.walk = r.u64("threadgen walk")?;
+        g.tstep = r.u64("threadgen tstep")?;
+        g.lane = (r.u32("threadgen lane")?, r.u32("threadgen lanes")?);
+        g.replay = replay;
+        Ok(g)
+    }
 }
 
 /// A complete workload: one generator per hardware thread/core.
@@ -178,6 +317,51 @@ impl Workload {
             kind,
             threads: traces.into_iter().map(ThreadGen::replaying).collect(),
         }
+    }
+
+    /// Serializes the workload (name, kind, every generator) for
+    /// checkpointing.
+    pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
+        w.str(&self.name);
+        w.u8(match self.kind {
+            WorkloadKind::MultiThreaded => 0,
+            WorkloadKind::MultiProgrammed => 1,
+        });
+        w.usize(self.threads.len());
+        for t in &self.threads {
+            t.snap(w);
+        }
+    }
+
+    /// Decodes a [`Workload::snap`] image.
+    ///
+    /// # Errors
+    /// Fails with a [`zerodev_common::snap::SnapError`] on decode error or
+    /// an unknown application name.
+    pub fn unsnap(
+        r: &mut zerodev_common::snap::SnapReader<'_>,
+    ) -> Result<Workload, zerodev_common::snap::SnapError> {
+        use zerodev_common::snap::SnapError;
+        let name = r.str("workload name")?.to_string();
+        let kind = match r.u8("workload kind")? {
+            0 => WorkloadKind::MultiThreaded,
+            1 => WorkloadKind::MultiProgrammed,
+            _ => {
+                return Err(SnapError::Corrupt {
+                    context: "workload kind",
+                })
+            }
+        };
+        let n = r.usize("workload thread count")?;
+        let mut threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            threads.push(ThreadGen::unsnap(r)?);
+        }
+        Ok(Workload {
+            name,
+            kind,
+            threads,
+        })
     }
 }
 
@@ -222,7 +406,7 @@ pub fn multithreaded(name: &str, threads: usize, seed: u64) -> Option<Workload> 
     let srw = alloc.region(spec.srw_blocks);
     let mut rng = Prng::seeded(seed ^ hash_name(name));
     let gens = (0..threads)
-        .map(|_| {
+        .map(|t| {
             let private = alloc.region(spec.priv_blocks);
             ThreadGen::new(
                 spec,
@@ -234,6 +418,7 @@ pub fn multithreaded(name: &str, threads: usize, seed: u64) -> Option<Workload> 
                 },
                 rng.fork(),
             )
+            .with_lane(t, threads)
         })
         .collect();
     Some(Workload {
@@ -253,7 +438,7 @@ pub fn rate(app: &str, copies: usize, seed: u64) -> Option<Workload> {
     let code = alloc.region(spec.code_blocks);
     let mut rng = Prng::seeded(seed ^ hash_name(app) ^ 0x5ce0_11ab);
     let gens = (0..copies)
-        .map(|_| {
+        .map(|t| {
             let sro = alloc.region(spec.sro_blocks);
             let srw = alloc.region(spec.srw_blocks);
             let private = alloc.region(spec.priv_blocks);
@@ -267,6 +452,7 @@ pub fn rate(app: &str, copies: usize, seed: u64) -> Option<Workload> {
                 },
                 rng.fork(),
             )
+            .with_lane(t, copies)
         })
         .collect();
     Some(Workload {
@@ -302,6 +488,7 @@ pub fn hetero_mix(index: usize, cores: usize, seed: u64) -> Workload {
                 },
                 rng.fork(),
             )
+            .with_lane(j, cores)
         })
         .collect();
     Workload {

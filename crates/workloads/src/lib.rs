@@ -23,8 +23,10 @@
 
 mod gen;
 mod spec;
+pub mod torture;
 mod trace;
 
 pub use gen::{hetero_mix, multithreaded, rate, server, MemRef, ThreadGen, Workload, WorkloadKind};
 pub use spec::{lookup, suites, Suite, WorkloadSpec};
+pub use torture::{TortureKind, TORTURE};
 pub use trace::{ParseTraceError, Trace};

@@ -31,6 +31,8 @@ pub enum Suite {
     Server,
     /// Recorded-trace replay (no synthetic parameters).
     Trace,
+    /// Adversarial torture patterns for soak testing ([`crate::torture`]).
+    Torture,
 }
 
 /// The parameter vector describing one application's memory behaviour.
@@ -40,6 +42,9 @@ pub struct WorkloadSpec {
     pub name: &'static str,
     /// Owning suite.
     pub suite: Suite,
+    /// Adversarial pattern override: when set, reference generation ignores
+    /// the synthetic-application fields and follows the torture pattern.
+    pub torture: Option<crate::torture::TortureKind>,
     /// Per-thread private working set, in blocks.
     pub priv_blocks: u64,
     /// Zipf skew of private accesses (0 = streaming/uniform).
@@ -93,6 +98,7 @@ const fn base(name: &'static str, suite: Suite) -> WorkloadSpec {
     WorkloadSpec {
         name,
         suite,
+        torture: None,
         priv_blocks: 4096,
         priv_theta: 0.3,
         sro_blocks: 0,
@@ -120,9 +126,13 @@ macro_rules! spec {
     };
 }
 
-/// Looks up an application's spec by its figure name.
+/// Looks up an application's spec by its figure name. `torture.*` names
+/// resolve to the adversarial soak patterns ([`crate::torture::TORTURE`]).
 pub fn lookup(name: &str) -> Option<WorkloadSpec> {
     use Suite::*;
+    if name.starts_with("torture.") {
+        return crate::torture::lookup(name);
+    }
     let s = match name {
         // ---- PARSEC -----------------------------------------------------
         "blackscholes" => {

@@ -46,6 +46,39 @@ echo "== fault campaign smoke (quick matrix) =="
 ZERODEV_QUICK=1 \
     cargo run --release -p zerodev-bench --bin fault_campaign >/dev/null
 
+echo "== checkpoint kill/resume parity (DESIGN.md §9) =="
+# A checkpointed-and-resumed run must be byte-identical to an
+# uninterrupted one across the directory/torture/fault/socket matrix.
+cargo test -q --release -p zerodev-bench --test checkpoint_parity
+
+echo "== torture soak smoke (audited, message faults armed) =="
+# The bounded campaign: every torture workload x config point must
+# complete under the oracle with a message-level fault plan active.
+soak_dir=$(mktemp -d)
+ZERODEV_QUICK=1 ZERODEV_AUDIT=1 \
+    ZERODEV_FAULTS=nack=20000,delay=10000,dup=10000 \
+    ZERODEV_SOAK_DIR="$soak_dir" \
+    cargo run --release -p zerodev-bench --bin soak >/dev/null
+
+echo "== soak quarantine check (injected livelock must be caught) =="
+# A NACK storm past the retry budget is a livelock by construction; the
+# soak driver must quarantine it (nonzero exit), name the point in the
+# report, and leave a checkpoint artifact for post-mortem replay.
+if ZERODEV_QUICK=1 \
+    ZERODEV_FAULTS=nack=1000000,nack_len=64,retries=8 \
+    ZERODEV_SOAK_ONLY='torture.ping_pong@baseline' \
+    ZERODEV_SOAK_DIR="$soak_dir" \
+    cargo run --release -p zerodev-bench --bin soak >/dev/null; then
+    echo "soak quarantine check FAILED: injected stall was not quarantined" >&2
+    exit 1
+fi
+grep -q '"outcome": "stalled"' "$soak_dir/soak_report.json"
+grep -q 'torture.ping_pong@baseline' "$soak_dir/soak_report.json"
+ls "$soak_dir"/torture_ping_pong_baseline_*.ckpt >/dev/null
+ls "$soak_dir"/torture_ping_pong_baseline_*.trace >/dev/null
+rm -rf "$soak_dir"
+echo "soak quarantine check passed"
+
 echo "== model checker smoke (bounded exploration) =="
 ZERODEV_MC_QUICK=1 \
     cargo run --release -p zerodev_model >/dev/null

@@ -60,6 +60,79 @@ fn replay_matches_generator_run_when_covering() {
     assert_eq!(replayed.stats.dev_invalidations, 0);
 }
 
+/// The torture family rides the same determinism contract as the PARSEC /
+/// SPLASH generators: every `torture.*` workload must produce an identical
+/// run at any `ZERODEV_THREADS` × `ZERODEV_SHARDS` combination (expressed
+/// through `RunParams` so the test cannot race on process-global env
+/// vars). The soak driver's minimizer and repro commands depend on this.
+#[test]
+fn torture_workloads_are_deterministic_across_threads_and_shards() {
+    let cfg =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    for app in zerodev::workloads::TORTURE {
+        let fingerprint = |threads: usize, shards: usize| {
+            let p = RunParams {
+                refs_per_core: 2_000,
+                warmup_refs: 200,
+                threads,
+                shards,
+                audit: true,
+                ..Default::default()
+            };
+            let r = run(&cfg, multithreaded(app, 8, 0x7041).unwrap(), &p).result;
+            format!(
+                "{:?}|{:?}|{:?}|{}|{}",
+                r.stats, r.core_cycles, r.core_instrs, r.completion_cycles, r.refs_retired
+            )
+        };
+        let reference = fingerprint(1, 1);
+        for (threads, shards) in [(1, 2), (1, 4), (4, 1), (4, 4)] {
+            assert_eq!(
+                fingerprint(threads, shards),
+                reference,
+                "{app} diverged at threads={threads}, shards={shards}"
+            );
+        }
+    }
+}
+
+/// Torture traces round-trip through the text format: recording a torture
+/// workload, serialising with `Trace::to_text`, parsing it back, and
+/// replaying must reproduce the recorded run bit-for-bit. This is the
+/// contract behind the soak driver's quarantine trace artifacts.
+#[test]
+fn torture_traces_round_trip_through_text() {
+    let cfg =
+        SystemConfig::baseline_8core().with_zerodev(ZeroDevConfig::default(), DirectoryKind::None);
+    for app in zerodev::workloads::TORTURE {
+        let mut source = multithreaded(app, 8, 0x7041).unwrap();
+        let trace = Trace::record(&mut source, 3_000);
+        let direct = run(
+            &cfg,
+            trace
+                .clone()
+                .into_workload(app, WorkloadKind::MultiThreaded),
+            &params(),
+        );
+        let text = trace.to_text();
+        let parsed: Trace = text.parse().expect("torture trace text is well-formed");
+        let replayed = run(
+            &cfg,
+            parsed.into_workload(app, WorkloadKind::MultiThreaded),
+            &params(),
+        );
+        assert_eq!(
+            direct.stats, replayed.stats,
+            "{app}: stats diverged after text round-trip"
+        );
+        assert_eq!(
+            direct.completion_cycles, replayed.completion_cycles,
+            "{app}: completion diverged after text round-trip"
+        );
+        assert_eq!(direct.dram_rw, replayed.dram_rw, "{app}: dram diverged");
+    }
+}
+
 #[test]
 fn hand_written_trace_drives_the_machine() {
     // A tiny hand-authored trace: one thread pounding two blocks, one of
