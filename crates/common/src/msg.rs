@@ -144,7 +144,73 @@ impl MsgClass {
             .position(|&c| c == self)
             .expect("class listed")
     }
+
+    /// Virtual-network rank for deadlock analysis (DESIGN.md §12).
+    ///
+    /// Serving a message may only generate messages of equal or higher
+    /// rank, so a full network always drains toward the response VN:
+    /// 0 = core-originated requests and notices, 1 = home-generated
+    /// probes, 2 = memory commands, 3 = responses. `zerodev-lint` parses
+    /// this table and checks the extracted consumes→emits graph against
+    /// it; the one audited descent is the `DenfNack → Request` retry in
+    /// the fault engine (bounded backoff, hard retry budget).
+    pub const fn vnet(self) -> u8 {
+        match self {
+            MsgClass::Request
+            | MsgClass::EvictNotice
+            | MsgClass::EvictNoticeBits
+            | MsgClass::Writeback => 0,
+            MsgClass::Forward | MsgClass::Invalidation | MsgClass::SocketCtrl => 1,
+            MsgClass::MemRead
+            | MsgClass::MemWrite
+            | MsgClass::GetDirEntry
+            | MsgClass::WbDirEntry => 2,
+            MsgClass::Data
+            | MsgClass::Ack
+            | MsgClass::MemReadData
+            | MsgClass::SocketData
+            | MsgClass::DenfNack => 3,
+        }
+    }
 }
+
+/// Compile-time exhaustiveness guard for [`ALL_CLASSES`]: the match below
+/// is exhaustive over `MsgClass`, so adding a variant without extending
+/// (and correctly ordering) the dispatch table fails this constant's
+/// evaluation instead of silently skipping the new class in traffic
+/// breakdowns.
+const fn variant_ordinal(c: MsgClass) -> usize {
+    match c {
+        MsgClass::Request => 0,
+        MsgClass::Forward => 1,
+        MsgClass::Invalidation => 2,
+        MsgClass::Ack => 3,
+        MsgClass::Data => 4,
+        MsgClass::EvictNotice => 5,
+        MsgClass::EvictNoticeBits => 6,
+        MsgClass::Writeback => 7,
+        MsgClass::MemRead => 8,
+        MsgClass::MemReadData => 9,
+        MsgClass::MemWrite => 10,
+        MsgClass::WbDirEntry => 11,
+        MsgClass::GetDirEntry => 12,
+        MsgClass::DenfNack => 13,
+        MsgClass::SocketCtrl => 14,
+        MsgClass::SocketData => 15,
+    }
+}
+
+const _: () = {
+    assert!(ALL_CLASSES.len() == variant_ordinal(MsgClass::SocketData) + 1);
+    let mut i = 0;
+    while i < ALL_CLASSES.len() {
+        assert!(
+            variant_ordinal(ALL_CLASSES[i]) == i,
+            "ALL_CLASSES must list every MsgClass exactly once, in declaration order"
+        );
+        i += 1;
+    }
+};
 
 #[cfg(test)]
 mod tests {
@@ -173,6 +239,21 @@ mod tests {
     fn indexing_round_trips() {
         for (i, c) in ALL_CLASSES.iter().enumerate() {
             assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn vnet_ranks_cover_expected_networks() {
+        // Rank 0 holds exactly the core-originated classes; responses are
+        // all top-rank so they can always sink at a core.
+        assert_eq!(MsgClass::Request.vnet(), 0);
+        assert_eq!(MsgClass::Writeback.vnet(), 0);
+        assert_eq!(MsgClass::Forward.vnet(), 1);
+        assert_eq!(MsgClass::MemRead.vnet(), 2);
+        assert_eq!(MsgClass::Data.vnet(), 3);
+        assert_eq!(MsgClass::DenfNack.vnet(), 3);
+        for c in ALL_CLASSES {
+            assert!(c.vnet() <= 3);
         }
     }
 }

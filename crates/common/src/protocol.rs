@@ -238,6 +238,36 @@ pub const ALL_MUTATIONS: [Mutation; 3] = [
     Mutation::ServeCorruptedMemory,
 ];
 
+/// Compile-time exhaustiveness guard for [`ALL_MUTATIONS`]: the match below
+/// is exhaustive over `Mutation`, so adding a variant without seeding it in
+/// the dispatch table fails this constant's evaluation instead of silently
+/// skipping the new mutation in sensitivity matrices.
+const fn mutation_ordinal(m: Mutation) -> usize {
+    match m {
+        Mutation::None => 0,
+        Mutation::KeepStaleSharer => 1,
+        Mutation::FuseShared => 2,
+        Mutation::ServeCorruptedMemory => 3,
+    }
+}
+
+// In-bounds by the loop condition; an overrun here is a compile error,
+// never a runtime panic.
+#[allow(clippy::indexing_slicing)]
+const _: () = {
+    // `None` is the shipped protocol, not a seeded mutation: the table
+    // lists every other variant, in declaration order.
+    assert!(ALL_MUTATIONS.len() == mutation_ordinal(Mutation::ServeCorruptedMemory));
+    let mut i = 0;
+    while i < ALL_MUTATIONS.len() {
+        assert!(
+            mutation_ordinal(ALL_MUTATIONS[i]) == i + 1,
+            "ALL_MUTATIONS must list every seeded Mutation exactly once, in declaration order"
+        );
+        i += 1;
+    }
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

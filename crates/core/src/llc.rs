@@ -372,6 +372,7 @@ impl LlcBank {
     }
 
     /// Serializes the bank contents and port horizon for checkpointing.
+    // lint:allow(snapshot_complete(banks, bank_index), interleaving geometry is config-derived; restore targets a bank freshly built from the same configuration)
     pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
         self.array.snapshot_with(w, |w, line| line.snap(w));
         w.u64(self.port_free.0);
@@ -383,6 +384,7 @@ impl LlcBank {
     /// # Errors
     /// Fails with a structural [`zerodev_common::snap::SnapError`] on
     /// geometry mismatch or decode error.
+    // lint:allow(snapshot_complete(banks, bank_index), interleaving geometry is config-derived; restore targets a bank freshly built from the same configuration)
     pub fn unsnap(
         &mut self,
         r: &mut zerodev_common::snap::SnapReader<'_>,

@@ -157,11 +157,13 @@ impl MemorySide {
     }
 
     /// Reads a block from the home socket's DRAM; returns completion time.
+    // lint:consumes(MemRead, GetDirEntry)
     pub fn dram_read(&mut self, now: Cycle, home: SocketId, block: BlockAddr) -> Cycle {
         self.drams[home.0 as usize].read(now, block)
     }
 
     /// Writes a block to the home socket's DRAM; returns completion time.
+    // lint:consumes(MemWrite)
     pub fn dram_write(&mut self, now: Cycle, home: SocketId, block: BlockAddr) -> Cycle {
         self.drams[home.0 as usize].write(now, block)
     }
@@ -191,6 +193,7 @@ impl MemorySide {
     /// when the block already housed a segment of *another* socket — the
     /// case where the home must read-modify-write the memory block
     /// (§III-D, Figure 14 steps (i)–(iii)).
+    // lint:consumes(WbDirEntry)
     pub fn house_entry(&mut self, block: BlockAddr, socket: SocketId, entry: DirEntry) -> bool {
         // The segment stores the configured encoding; imprecise formats
         // surface as a sharer superset when the entry is read back.
@@ -327,6 +330,7 @@ impl MemorySide {
     /// Serializes the memory side — DRAM timing state, corrupted-block map,
     /// socket-directory caches and backing stores, and the cache counters —
     /// for checkpointing.
+    // lint:allow(snapshot_complete(backing, sockets, cores, seg_format), machine shape and backing/segment policy come from SystemConfig; restore targets a memory side freshly built from it)
     pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
         w.usize(self.drams.len());
         for d in &self.drams {
@@ -362,6 +366,7 @@ impl MemorySide {
     /// # Errors
     /// Fails with a structural [`zerodev_common::snap::SnapError`] on
     /// geometry mismatch or decode error.
+    // lint:allow(snapshot_complete(backing, sockets, cores, seg_format), machine shape and backing/segment policy come from SystemConfig; restore targets a memory side freshly built from it)
     pub fn unsnap(
         &mut self,
         r: &mut zerodev_common::snap::SnapReader<'_>,

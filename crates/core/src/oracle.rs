@@ -41,7 +41,6 @@
 //! the last [`EventLog::capacity`] protocol events from a bounded ring
 //! buffer, which is also usable standalone for debugging.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 
@@ -50,6 +49,7 @@ use crate::system::{Downgrade, EvictKind, InvalReason, Invalidation, Op, System}
 use zerodev_common::config::{DirectoryKind, LlcDesign, SegmentFormat, SystemConfig};
 use zerodev_common::ids::SharerSet;
 use zerodev_common::msg::ALL_CLASSES;
+use zerodev_common::FlatMap;
 use zerodev_common::{BlockAddr, CoreId, MesiState, SocketId, Stats};
 
 // ---------------------------------------------------------------------------
@@ -293,7 +293,7 @@ pub struct Oracle {
     /// are synthesised at a coarser grain and are audited only as
     /// supersets).
     precise_dir: bool,
-    shadow: HashMap<BlockAddr, ShadowBlock>,
+    shadow: FlatMap<ShadowBlock>,
     log: EventLog,
     txns: u64,
     snap: StatsSnap,
@@ -313,7 +313,7 @@ impl Oracle {
             llc_design: cfg.llc_design,
             exact: precise_dir && fullmap,
             precise_dir,
-            shadow: HashMap::new(),
+            shadow: FlatMap::new(),
             log: EventLog::new(LOG_DEPTH),
             txns: 0,
             snap: StatsSnap::default(),
@@ -335,14 +335,16 @@ impl Oracle {
     /// the image is deterministic. The event ring buffer is diagnostics
     /// only and restores empty; the per-transaction stats snapshot is never
     /// live between transactions and restores to its default.
+    // lint:allow(snapshot_complete(sockets, zerodev, llc_design, exact, precise_dir), audit mode flags are config-derived; restore targets an oracle freshly built from the same configuration)
+    // lint:allow(snapshot_complete(log, snap), the event ring is diagnostics-only and restores empty; the per-transaction stats snapshot is never live between transactions)
     pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
         w.u64(self.txns);
-        let mut blocks: Vec<BlockAddr> = self.shadow.keys().copied().collect();
+        let mut blocks: Vec<BlockAddr> = self.shadow.iter().map(|(k, _)| BlockAddr(k)).collect();
         blocks.sort_unstable();
         w.usize(blocks.len());
         for b in blocks {
             w.u64(b.0);
-            let sb = &self.shadow[&b];
+            let sb = self.shadow.get(b.0).expect("listed key");
             w.usize(sb.holders.len());
             for h in &sb.holders {
                 w.u128(h.0);
@@ -371,7 +373,7 @@ impl Oracle {
         use zerodev_common::snap::SnapError;
         self.txns = r.u64("oracle txns")?;
         let n = r.usize("oracle shadow len")?;
-        let mut shadow = HashMap::with_capacity(n);
+        let mut shadow = FlatMap::with_capacity(n);
         for _ in 0..n {
             let block = BlockAddr(r.u64("oracle shadow block")?);
             let holders_len = r.usize("oracle holders len")?;
@@ -392,7 +394,7 @@ impl Oracle {
             } else {
                 None
             };
-            shadow.insert(block, ShadowBlock { holders, owner });
+            shadow.insert(block.0, ShadowBlock { holders, owner });
         }
         self.shadow = shadow;
         self.log = EventLog::new(LOG_DEPTH);
@@ -560,9 +562,10 @@ impl Oracle {
 
     fn entry(&mut self, block: BlockAddr) -> &mut ShadowBlock {
         let sockets = self.sockets;
-        self.shadow
-            .entry(block)
-            .or_insert_with(|| ShadowBlock::new(sockets))
+        if !self.shadow.contains_key(block.0) {
+            self.shadow.insert(block.0, ShadowBlock::new(sockets));
+        }
+        self.shadow.get_mut(block.0).expect("just inserted")
     }
 
     fn apply_inval(&mut self, sys: &System, i: &Invalidation) {
@@ -649,7 +652,7 @@ impl Oracle {
     /// a freshly fault-injected block without waiting for the next sweep.
     pub(crate) fn check_block(&self, sys: &System, block: BlockAddr) {
         let fallback;
-        let sb = match self.shadow.get(&block) {
+        let sb = match self.shadow.get(block.0) {
             Some(sb) => sb,
             None => {
                 fallback = ShadowBlock::new(self.sockets);
@@ -847,7 +850,7 @@ impl Oracle {
     /// periodically from the access hook and once at the end of an audited
     /// run (see [`System::audit_sweep`]).
     pub fn full_sweep(&self, sys: &System) {
-        let mut blocks: Vec<BlockAddr> = self.shadow.keys().copied().collect();
+        let mut blocks: Vec<BlockAddr> = self.shadow.iter().map(|(k, _)| BlockAddr(k)).collect();
         blocks.sort_unstable_by_key(|b| b.0);
         for b in blocks {
             self.check_block(sys, b);
@@ -855,7 +858,7 @@ impl Oracle {
         // Every corrupted home block must be known to the shadow map (it
         // became corrupted through an observed transaction).
         for (b, _) in sys.memory().corrupted_blocks() {
-            if !self.shadow.contains_key(&b) {
+            if !self.shadow.contains_key(b.0) {
                 self.fail(sys, b, "corrupted block never seen in the access stream");
             }
         }
@@ -882,7 +885,7 @@ impl Oracle {
     fn describe_block(&self, sys: &System, block: BlockAddr) -> String {
         let mut out = String::new();
         let mem = sys.memory();
-        match self.shadow.get(&block) {
+        match self.shadow.get(block.0) {
             Some(sb) => {
                 let _ = writeln!(out, "  shadow owner: {:?}", sb.owner);
                 for (s, h) in sb.holders.iter().enumerate() {

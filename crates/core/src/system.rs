@@ -488,6 +488,7 @@ impl System {
     /// Recovers a directory entry housed in the home-memory copy of
     /// `block` (§III-D3 step 3): reads the corrupted block, extracts this
     /// socket's segment (one extra cycle), and reinstalls it in the socket.
+    // lint:consumes(Request)
     fn recover_housed_entry(
         &mut self,
         t: &mut Cycle,
@@ -502,6 +503,7 @@ impl System {
             *t += self.cfg.inter_socket_cycles;
             self.stats.msg(MsgClass::SocketCtrl);
         }
+        // lint:context(MemRead)
         self.stats.dram_reads += 1;
         let tm = self.mem.dram_read(*t, home, block);
         self.stats.msg(MsgClass::MemReadData);
@@ -563,6 +565,7 @@ impl System {
     /// Baseline directory eviction: every tracked private copy becomes a
     /// DEV. Dirty owners are detected by the caller (only the core knows)
     /// and reported through [`System::dev_dirty_recall`].
+    // lint:consumes(Request)
     fn apply_dev_victims(
         &mut self,
         _now: Cycle,
@@ -574,6 +577,7 @@ impl System {
             let n = ventry.sharers.count() as u64;
             self.stats.dev_invalidations += n;
             self.stats.msg_n(MsgClass::Invalidation, n);
+            // lint:context(Invalidation)
             self.stats.msg_n(MsgClass::Ack, n);
             for core in ventry.sharers.iter() {
                 invals.push(Invalidation {
@@ -630,6 +634,7 @@ impl System {
 
     /// Rewrites a live entry in place, maintaining the FPSS invariants
     /// (fused ⇒ M/E when the block is resident; spilled ⇒ S), §III-C2.
+    // lint:consumes(Request, EvictNotice)
     fn update_entry(
         &mut self,
         now: Cycle,
@@ -696,6 +701,7 @@ impl System {
                                                        // M/E→S: spill the entry and reconstruct the block from
                                                        // the owner's low bits sent with the busy-clear message.
                     let _ = self.sockets[s].banks[bank].unfuse(block);
+                    // lint:context(EvictNoticeBits)
                     self.stats.msg(MsgClass::EvictNoticeBits);
                     self.stats.dir_spills += 1;
                     let policy = self.policy();
@@ -729,6 +735,7 @@ impl System {
     /// trip when the notice did not carry them). Robust against the entry
     /// having left for home memory mid-transaction (WB_DE by an LLC fill of
     /// the same transaction): the housed segment is discarded instead.
+    // lint:consumes(Request, EvictNotice)
     fn free_entry(&mut self, s: usize, block: BlockAddr, loc: EntryLoc, retrieval: bool) {
         let bank = self.bank_of(block);
         match loc {
@@ -747,6 +754,7 @@ impl System {
                     // §III-C3: retrieve the corrupted low bits from the last
                     // sharer's eviction buffer with a special acknowledgement.
                     self.stats.msg(MsgClass::Ack);
+                    // lint:context(EvictNoticeBits)
                     self.stats.msg(MsgClass::EvictNoticeBits);
                 }
                 if matches!(
@@ -765,6 +773,7 @@ impl System {
     /// memory copy if it was corrupted: the departing data (from the
     /// evicting core or the LLC line) overwrites the housed segments
     /// (§III-D4, last paragraph). Charges the full-block retrieval.
+    // lint:consumes(Request, EvictNotice)
     fn restore_if_last_copy(&mut self, now: Cycle, s: usize, block: BlockAddr) {
         if !self.mem.is_corrupted(block) {
             return;
@@ -859,6 +868,7 @@ impl System {
     /// Processes a line evicted from an LLC set: dirty data goes to home
     /// memory, spilled/fused entries trigger the WB_DE flow (§III-D), and
     /// inclusive designs back-invalidate private copies.
+    // lint:consumes(Request, EvictNotice)
     fn handle_llc_victim(
         &mut self,
         now: Cycle,
@@ -876,6 +886,7 @@ impl System {
                         let n = entry.sharers.count() as u64;
                         self.stats.inclusion_invalidations += n;
                         self.stats.msg_n(MsgClass::Invalidation, n);
+                        // lint:context(Invalidation)
                         self.stats.msg_n(MsgClass::Ack, n);
                         for core in entry.sharers.iter() {
                             invals.push(Invalidation {
@@ -916,6 +927,7 @@ impl System {
                     let n = entry.sharers.count() as u64;
                     self.stats.inclusion_invalidations += n;
                     self.stats.msg_n(MsgClass::Invalidation, n);
+                    // lint:context(Invalidation)
                     self.stats.msg_n(MsgClass::Ack, n);
                     for core in entry.sharers.iter() {
                         invals.push(Invalidation {
@@ -945,6 +957,7 @@ impl System {
 
     /// The WB_DE flow: a fused or spilled entry evicted from the LLC
     /// overwrites the home-memory copy of the block it tracks (Figure 14).
+    // lint:consumes(Request, EvictNotice)
     fn wbde(&mut self, now: Cycle, s: usize, block: BlockAddr, entry: DirEntry) {
         self.stats.dir_llc_evictions += 1;
         let home = self.cfg.home_socket(block);
@@ -969,6 +982,7 @@ impl System {
     /// Writes dirty data back to home memory, restoring a corrupted block
     /// if necessary (the socket's own housed segment is pulled back in
     /// first so no tracking is lost).
+    // lint:consumes(Writeback)
     fn writeback_to_memory(&mut self, now: Cycle, s: usize, block: BlockAddr) {
         let home = self.cfg.home_socket(block);
         self.stats.msg(MsgClass::MemWrite);
@@ -998,6 +1012,7 @@ impl System {
 
     /// After a socket may have lost its last trace of `block`, update the
     /// socket-level directory (multi-socket machines only).
+    // lint:consumes(Request, EvictNotice)
     fn departure_check(&mut self, _now: Cycle, s: usize, block: BlockAddr) {
         if self.cfg.sockets == 1 {
             return;
@@ -1071,6 +1086,7 @@ impl System {
     /// `(latency, grant)`. The oracle hook sees exactly the entries this
     /// call appended.
     #[allow(clippy::too_many_arguments)]
+    // lint:consumes(Request)
     pub fn access_into(
         &mut self,
         now: Cycle,
@@ -1358,8 +1374,10 @@ impl System {
     /// Latency of forwarding a request from the home bank to `owner`, which
     /// responds directly to `requester` (three-hop path, §III-A), plus the
     /// off-critical-path busy-clear to the home.
+    // lint:consumes(Request)
     fn forward_to_core(&mut self, s: usize, bank: usize, owner: CoreId, requester: CoreId) -> u64 {
         self.stats.msg(MsgClass::Forward);
+        // lint:context(Forward)
         self.stats.msg(MsgClass::Data);
         self.stats.msg(MsgClass::Ack); // busy-clear
         self.sockets[s]
@@ -1377,6 +1395,7 @@ impl System {
     /// worst-case invalidate→ack critical-path latency (acks are collected
     /// by the requester).
     #[allow(clippy::too_many_arguments)] // protocol context is irreducible
+                                         // lint:consumes(Request)
     fn invalidate_sharers(
         &mut self,
         s: usize,
@@ -1390,6 +1409,7 @@ impl System {
         let mut worst = 0;
         for sharer in protocol::invalidation_targets(entry.sharers, keep) {
             self.stats.msg(MsgClass::Invalidation);
+            // lint:context(Invalidation)
             self.stats.msg(MsgClass::Ack);
             self.stats.coherence_invalidations += u64::from(reason == InvalReason::Coherence);
             invals.push(Invalidation {

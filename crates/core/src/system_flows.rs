@@ -5,6 +5,7 @@
 impl System {
     /// Read (or code read) of a block with no directory entry in the socket.
     #[allow(clippy::too_many_arguments)]
+    // lint:consumes(Request)
     fn untracked_read(
         &mut self,
         now: Cycle,
@@ -80,6 +81,7 @@ impl System {
     /// guarantee only holds once a live housed segment is ruled out.
     /// Returns the retrieved entry (extracted from the home block) and
     /// charges the memory round-trip, or `None` when nothing is housed.
+    // lint:consumes(Request)
     fn recall_housed_entry(
         &mut self,
         t: &mut Cycle,
@@ -99,6 +101,7 @@ impl System {
         *t += self.sockets[s]
             .topo
             .bank_mc_latency(bank, 0, MsgClass::MemRead.bytes());
+        // lint:context(MemRead)
         self.stats.dram_reads += 1;
         let tm = self.mem.dram_read(*t, home, block);
         self.stats.msg(MsgClass::MemReadData);
@@ -114,6 +117,7 @@ impl System {
     /// multi-socket machine: E only when no *other* socket shares the
     /// block, S otherwise. Keeps the socket-level directory in step with
     /// the decision.
+    // lint:consumes(Request)
     fn untracked_read_socket_grant(&mut self, t: &mut Cycle, s: usize, block: BlockAddr) -> MesiState {
         let home = self.cfg.home_socket(block);
         let me = SocketId(s as u8);
@@ -146,6 +150,7 @@ impl System {
 
     /// Read-exclusive of a block with no directory entry in the socket.
     #[allow(clippy::too_many_arguments)]
+    // lint:consumes(Request)
     fn untracked_rfo(
         &mut self,
         now: Cycle,
@@ -197,6 +202,7 @@ impl System {
     /// — fetch through the home memory, handling corrupted blocks and (for
     /// multi-socket machines) the full Figure 15 flow.
     #[allow(clippy::too_many_arguments)]
+    // lint:consumes(Request)
     fn memory_fetch(
         &mut self,
         now: Cycle,
@@ -220,6 +226,7 @@ impl System {
         // Single socket: home memory is local.
         let bank = self.bank_of(block);
         self.stats.msg(MsgClass::MemRead);
+        // lint:context(MemRead)
         *t += self.sockets[s]
             .topo
             .bank_mc_latency(bank, 0, MsgClass::MemRead.bytes());
@@ -374,6 +381,7 @@ impl System {
     /// Handles a miss that leaves the socket: the home socket's directory
     /// decides among the baseline, corrupted-block, and forwarding flows.
     #[allow(clippy::too_many_arguments)]
+    // lint:consumes(Request)
     fn socket_miss_flow(
         &mut self,
         now: Cycle,
@@ -392,6 +400,9 @@ impl System {
             *t += self.cfg.inter_socket_cycles;
             self.stats.msg(MsgClass::SocketCtrl);
         }
+        // Everything below happens at (or is relayed through) the home
+        // socket, serving the inter-socket control message above.
+        // lint:context(SocketCtrl)
         let lookup = self.mem.socket_dir_lookup(home, block);
         if !lookup.cached && self.mem.miss_needs_memory_read() {
             // Memory-backed socket directory: the entry read costs a DRAM
@@ -540,6 +551,7 @@ impl System {
     /// `s` (steps 5–11 of Figure 15). Returns the latency spent inside (and
     /// re-reaching) socket `f`, including any DENF_NACK round trip.
     #[allow(clippy::too_many_arguments)]
+    // lint:consumes(Request)
     fn remote_retrieve(
         &mut self,
         now: Cycle,
@@ -649,6 +661,7 @@ impl System {
     /// to home memory so that a socket-Shared block always has clean memory
     /// (conservative: charged whether or not the owner was dirty; the E
     /// case would only have sent an acknowledgement).
+    // lint:consumes(Request)
     fn remote_downgrade_writeback(&mut self, now: Cycle, f: usize, block: BlockAddr) {
         self.stats.msg(MsgClass::SocketData);
         // Restores a corrupted home block if needed (pulling F's own housed
@@ -667,6 +680,7 @@ impl System {
     /// Invalidates every trace of `block` in socket `f` (a remote write is
     /// claiming exclusivity). Private copies go to the caller's
     /// invalidation list; the LLC line and any housed segment are dropped.
+    // lint:consumes(Request)
     fn invalidate_socket_copies(
         &mut self,
         _now: Cycle,
@@ -678,6 +692,7 @@ impl System {
             let n = entry.sharers.count() as u64;
             self.stats.coherence_invalidations += n;
             self.stats.msg_n(MsgClass::Invalidation, n);
+            // lint:context(Invalidation)
             self.stats.msg_n(MsgClass::Ack, n);
             for core in entry.sharers.iter() {
                 invals.push(Invalidation {
@@ -697,6 +712,7 @@ impl System {
             let n = entry.sharers.count() as u64;
             self.stats.coherence_invalidations += n;
             self.stats.msg_n(MsgClass::Invalidation, n);
+            // lint:context(Invalidation)
             self.stats.msg_n(MsgClass::Ack, n);
             for core in entry.sharers.iter() {
                 invals.push(Invalidation {
@@ -714,6 +730,7 @@ impl System {
     /// On an upgrade/RFO that concluded within socket `s`, other sockets
     /// may still share the block: invalidate them through the home socket.
     /// Returns the added critical-path latency.
+    // lint:consumes(Request)
     fn socket_level_invalidate(
         &mut self,
         now: Cycle,
@@ -781,6 +798,7 @@ impl System {
     /// appended to the caller-owned buffer (the sim engine reuses one buffer
     /// across every eviction). The oracle hook sees exactly the entries this
     /// call appended.
+    // lint:consumes(EvictNotice)
     pub fn evict_into(
         &mut self,
         now: Cycle,
@@ -908,6 +926,7 @@ impl System {
 
     /// Figure 16: the eviction could not find the sparse directory entry
     /// within the socket.
+    // lint:consumes(EvictNotice)
     fn evict_with_entry_at_home(
         &mut self,
         now: Cycle,
@@ -948,9 +967,11 @@ impl System {
         if home != me {
             self.stats.msg(MsgClass::SocketCtrl);
         }
+        // lint:context(GetDirEntry)
         self.stats.dram_reads += 1;
         let tr = self.mem.dram_read(now, home, block);
         self.stats.msg(MsgClass::MemReadData);
+        // lint:context(end)
         let Some(entry) = self.mem.peek_entry(block, me) else {
             // Stale notice: the line was invalidated concurrently and no
             // entry survives anywhere. Drop it.
@@ -998,6 +1019,7 @@ impl System {
     /// The owner downgraded by a read held the block in M: its sharing
     /// writeback carries the dirty data to the home LLC (and, on
     /// multi-socket machines, home memory).
+    // lint:consumes(Request)
     pub fn sharing_writeback(&mut self, now: Cycle, socket: SocketId, block: BlockAddr) {
         let s = socket.0 as usize;
         self.stats.msg(MsgClass::Writeback);
@@ -1045,6 +1067,10 @@ impl System {
 
     /// Allocation-free form of [`Self::dev_dirty_recall`]: back-invalidations
     /// caused by the fill are appended to the caller-owned buffer.
+    // The recall is triggered by a DEV while the directory allocates on
+    // behalf of a request; the synchronous model folds it into that
+    // transaction, so the dirty writeback is request-caused (rank 0 -> 0).
+    // lint:consumes(Request)
     pub fn dev_dirty_recall_into(
         &mut self,
         now: Cycle,
@@ -1066,6 +1092,7 @@ impl System {
 
     /// An inclusion-invalidated owner held the block in M: the dirty data
     /// goes to home memory (its LLC line is being evicted).
+    // lint:consumes(Request, EvictNotice)
     pub fn inclusion_dirty_writeback(&mut self, now: Cycle, socket: SocketId, block: BlockAddr) {
         let s = socket.0 as usize;
         self.stats.msg(MsgClass::Writeback);

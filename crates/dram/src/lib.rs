@@ -160,6 +160,7 @@ impl DramModel {
     /// Serializes the mutable memory-system state — open rows, bank/bus
     /// occupancy horizons, and the access counters — for checkpointing.
     /// Geometry and timing are rebuilt from configuration on restore.
+    // lint:allow(snapshot_complete(cfg), DRAM geometry and timing are configuration, not mutable state; restore targets a model built from the same config)
     pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
         w.usize(self.channels.len());
         for ch in &self.channels {
@@ -189,6 +190,7 @@ impl DramModel {
     /// # Errors
     /// Fails with a structural [`zerodev_common::snap::SnapError`] on
     /// geometry mismatch or decode error.
+    // lint:allow(snapshot_complete(cfg), DRAM geometry and timing are configuration, not mutable state; restore targets a model built from the same config)
     pub fn unsnap(
         &mut self,
         r: &mut zerodev_common::snap::SnapReader<'_>,

@@ -1,0 +1,6 @@
+//! Fires `ambient_randomness` exactly once: one OS-entropy draw in a
+//! deterministic crate (both denied idents sit on one line — findings
+//! are deduplicated per line).
+pub fn seed() -> u64 {
+    rand::thread_rng().next_u64()
+}

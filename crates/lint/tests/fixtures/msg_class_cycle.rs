@@ -1,0 +1,19 @@
+//! Fires `msg_class_cycle` exactly once: serving the top-rank response
+//! class emits a bottom-rank request — an un-audited descent of the
+//! virtual-network order.
+impl Sys {
+    // lint:consumes(Req)
+    fn serve(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Fwd, 8);
+    }
+
+    // lint:consumes(Fwd)
+    fn forward(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Dat, 8);
+    }
+
+    // lint:consumes(Dat)
+    fn retry(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Req, 8);
+    }
+}

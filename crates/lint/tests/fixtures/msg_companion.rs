@@ -1,0 +1,17 @@
+//! Mini message-class enum shared by the protocol-pass fixtures: three
+//! classes, one per virtual-network rank.
+pub enum MsgClass {
+    Req,
+    Fwd,
+    Dat,
+}
+
+impl MsgClass {
+    pub const fn vnet(self) -> u8 {
+        match self {
+            MsgClass::Req => 0,
+            MsgClass::Fwd => 1,
+            MsgClass::Dat => 2,
+        }
+    }
+}

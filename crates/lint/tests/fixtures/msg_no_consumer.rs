@@ -1,0 +1,13 @@
+//! Fires `msg_no_consumer` exactly once: `Dat` is produced but no flow
+//! declares consuming it.
+impl Sys {
+    // lint:consumes(Req)
+    fn serve(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Fwd, 8);
+    }
+
+    // lint:consumes(Fwd)
+    fn forward(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Dat, 8);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fires `msg_no_producer` exactly once: `Fwd` (vnet 1, not
+//! core-originated) is consumed but never emitted by any flow.
+impl Sys {
+    // lint:consumes(Req)
+    fn serve(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Dat, 8);
+    }
+
+    // lint:consumes(Fwd)
+    fn forward(&mut self) {}
+
+    // lint:consumes(Dat)
+    fn complete(&mut self) {}
+}

@@ -1,0 +1,7 @@
+//! Fires `nondeterministic_map` exactly once: one hash-randomized
+//! container mention in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn build() -> usize {
+    0
+}

@@ -1,0 +1,12 @@
+//! Fires `snapshot_complete` exactly once: `Gadget::snap` serializes
+//! field `a` but never references field `b`.
+pub struct Gadget {
+    a: u64,
+    b: u64,
+}
+
+impl Gadget {
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.a);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fires `thread_spawn` exactly once: one raw thread spawn in a
+//! deterministic crate.
+pub fn background() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,7 @@
+//! Fires `unrooted_emission` exactly once: an emission inside a fn with
+//! neither a `lint:consumes` declaration nor an active `lint:context`.
+impl Sys {
+    fn mystery(&mut self, st: &mut Stats) {
+        st.msg(MsgClass::Dat, 8);
+    }
+}

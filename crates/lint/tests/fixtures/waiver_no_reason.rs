@@ -1,0 +1,7 @@
+//! Fires `waiver_no_reason` exactly once: the waiver suppresses the
+//! wall-clock finding below it but carries no justification.
+pub fn elapsed() -> u64 {
+    // lint:allow(wall_clock)
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

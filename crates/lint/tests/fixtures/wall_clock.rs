@@ -1,0 +1,6 @@
+//! Fires `wall_clock` exactly once: one wall-clock read in a
+//! deterministic crate.
+pub fn elapsed() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

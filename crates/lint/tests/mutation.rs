@@ -1,0 +1,58 @@
+//! Mutation test against the real tree: deleting one serialized field
+//! write from a shipping `snap` implementation must trip the
+//! snapshot-completeness pass. This is the end-to-end guarantee the pass
+//! exists for — a new field that never reaches the checkpoint image
+//! fails CI instead of breaking kill-and-resume byte-identity at soak
+//! time.
+
+use zerodev_lint::{analyze, SourceFile, Workspace};
+
+/// The real engine source, compiled into the test so the mutation stays
+/// in memory and the tree on disk is untouched.
+const ENGINE_SRC: &str = include_str!("../../sim/src/engine.rs");
+
+fn ws(text: &str) -> Workspace {
+    Workspace {
+        files: vec![SourceFile {
+            krate: "sim".into(),
+            path: "crates/sim/src/engine.rs".into(),
+            text: text.into(),
+        }],
+    }
+}
+
+#[test]
+fn baseline_engine_is_snapshot_clean() {
+    let r = analyze(&ws(ENGINE_SRC));
+    let leftovers: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "snapshot_complete" && f.waived_by.is_none())
+        .collect();
+    assert!(leftovers.is_empty(), "{leftovers:?}");
+}
+
+#[test]
+fn deleting_a_field_write_fails_snapshot_completeness() {
+    let anchor = "        w.u64(self.pops);\n";
+    let mutated = ENGINE_SRC.replacen(anchor, "", 1);
+    assert_ne!(
+        mutated, ENGINE_SRC,
+        "EngineState::snap no longer writes `pops` — update the anchor"
+    );
+    let r = analyze(&ws(&mutated));
+    let hits: Vec<_> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == "snapshot_complete" && f.message.contains("`pops`"))
+        .collect();
+    assert!(
+        !hits.is_empty(),
+        "dropping a field write went undetected: {:?}",
+        r.findings
+    );
+    assert!(
+        hits.iter().all(|f| f.waived_by.is_none()),
+        "the injected omission must not be waivable by existing waivers: {hits:?}"
+    );
+}

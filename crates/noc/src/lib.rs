@@ -111,6 +111,7 @@ impl Mesh {
 
     /// Serializes the mutable mesh state (the load counters — geometry and
     /// timing are rebuilt from configuration) for checkpointing.
+    // lint:allow(snapshot_complete(cols, rows, cfg), mesh geometry and link timing are configuration; only the load counters are mutable)
     pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
         w.u64(self.byte_hops);
         w.u64(self.messages);
@@ -120,6 +121,7 @@ impl Mesh {
     ///
     /// # Errors
     /// Propagates decode errors from the snapshot reader.
+    // lint:allow(snapshot_complete(cols, rows, cfg), mesh geometry and link timing are configuration; only the load counters are mutable)
     pub fn unsnap(
         &mut self,
         r: &mut zerodev_common::snap::SnapReader<'_>,

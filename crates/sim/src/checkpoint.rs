@@ -37,6 +37,7 @@ impl PausedRun {
     /// watchdog tuning, workload generators (PRNG streams and cursors),
     /// the full machine (caches, directories, DRAM, oracle shadow), every
     /// core's private hierarchy, the fault plan, and the event-loop state.
+    // lint:allow(snapshot_complete(fx), reusable effects buffer; empty at every pause boundary (each step clears then drains it))
     pub fn checkpoint(&self) -> Vec<u8> {
         let mut w = SnapWriter::new(MAGIC, VERSION);
         w.u64(self.refs_per_core);

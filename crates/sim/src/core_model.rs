@@ -211,6 +211,7 @@ impl CoreModel {
     /// Serializes the private hierarchy lane-exactly for checkpointing
     /// (ids and hit latencies are config-derived and rebuilt by
     /// [`Self::new`], not stored).
+    // lint:allow(snapshot_complete(socket, core, l1_hit, l2_hit), ids and hit latencies are config-derived and rebuilt by CoreModel::new)
     pub(crate) fn snap(&self, w: &mut SnapWriter) {
         self.l1i.snapshot_with(w, |_, ()| {});
         self.l1d.snapshot_with(w, |_, ()| {});
@@ -222,6 +223,7 @@ impl CoreModel {
     /// # Errors
     /// Fails with a decode [`SnapError`] on geometry mismatch or corrupt
     /// input.
+    // lint:allow(snapshot_complete(socket, core, l1_hit, l2_hit), ids and hit latencies are config-derived and rebuilt by CoreModel::new)
     pub(crate) fn unsnap(&mut self, r: &mut SnapReader) -> Result<(), SnapError> {
         self.l1i.restore_with(r, |_| Ok(()))?;
         self.l1d.restore_with(r, |_| Ok(()))?;

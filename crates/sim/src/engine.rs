@@ -318,6 +318,9 @@ pub(crate) trait EffectSink {
 /// the former take-and-extend version processed. Shared verbatim between
 /// the serial loop and the sharded commit walker so the two paths cannot
 /// drift.
+// Responses terminate at the requesting core: delivering them generates
+// no further traffic, which is what makes vnet 3 the drain of the order.
+// lint:consumes(Data, Ack, MemReadData, SocketData)
 pub(crate) fn apply_effects_via(
     sys: &mut System,
     now: Cycle,
@@ -355,6 +358,7 @@ pub(crate) fn apply_effects_via(
 /// sharded commit walker can drive the identical fault path without a
 /// `Simulation` value.
 #[allow(clippy::too_many_arguments)] // one call site per driver; a params struct would only obscure it
+                                     // lint:consumes(DenfNack)
 pub(crate) fn fault_pre_at(
     sys: &mut System,
     faults: &mut Option<Box<FaultPlan>>,
@@ -379,7 +383,12 @@ pub(crate) fn fault_pre_at(
             ),
         });
     }
-    plan.stats.nack_storms += 1;
+    // The nacked request is re-issued after backoff: the one audited
+    // descent in the MsgClass order (DESIGN.md §12). The cycle cannot
+    // sustain itself — backoff grows with the storm length and the retry
+    // budget turns an unbounded storm into SimError::Stalled.
+    // lint:allow(msg_class_cycle, bounded DENF_NACK retry: backoff + hard retry budget guarantee drain)
+    plan.stats.nack_storms += 1; // lint:emits(Request)
     plan.stats.nacks += u64::from(len);
     plan.stats.backoff_cycles += plan.config().backoff_cycles(len);
     let mut phantom = 0u64;

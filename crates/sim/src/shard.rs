@@ -421,6 +421,7 @@ fn run_with(
             for s in 0..shards {
                 let (tx, rx) = mpsc::channel::<(Vec<CoreSlot>, usize)>();
                 let back = back_tx.clone();
+                // lint:allow(thread_spawn, shard speculation workers; the commit walker re-validates every speculated slot in deterministic order (ZERODEV_SHARDS is bit-identical to serial))
                 scope.spawn(move || {
                     while let Ok((mut batch, window)) = rx.recv() {
                         for slot in &mut batch {

@@ -210,6 +210,7 @@ impl ThreadGen {
     /// parameter vector is re-derived via [`lookup`] on restore), region
     /// bases, PRNG state, walk/torture cursors, lane, and — for replay
     /// generators — the full recorded stream and position.
+    // lint:allow(snapshot_complete(z_priv, z_sro, z_srw, z_code), Zipf samplers are pure functions of the spec, re-derived from the serialized spec name on restore)
     pub fn snap(&self, w: &mut zerodev_common::snap::SnapWriter) {
         w.str(self.spec.name);
         match &self.replay {

@@ -19,6 +19,19 @@ echo "== build + tests =="
 cargo build --release
 cargo test -q --release --workspace
 
+echo "== zerodev-lint (determinism / snapshot / message-class graph) =="
+# Workspace static analysis (DESIGN.md §12): denies ambient nondeterminism
+# in the deterministic crates, checks snapshot field coverage, and verifies
+# the MsgClass consumes->emits graph is deadlock-free modulo the audited
+# DenfNack retry edge. Fails on any un-waived finding. Skip with
+# ZERODEV_NO_LINT=1 (e.g. when bisecting an unrelated regression).
+if [[ "${ZERODEV_NO_LINT:-0}" == "1" ]]; then
+    echo "zerodev-lint: skipped (ZERODEV_NO_LINT=1)"
+else
+    cargo run --release -q -p zerodev-lint -- \
+        --root . --json target/lint_report.json --dot target/msg_classes.dot
+fi
+
 echo "== audited figure smoke (quick profile, oracle on) =="
 ZERODEV_QUICK=1 ZERODEV_AUDIT=1 \
     cargo run --release -p zerodev-bench --bin all_figures >/dev/null
